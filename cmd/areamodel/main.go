@@ -1,0 +1,27 @@
+// Command areamodel prints the die-area analysis of Section V-F
+// (Tables VI and VII) without running any simulation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gpusecmem"
+)
+
+func main() {
+	for _, id := range []string{"table6", "table7"} {
+		e, ok := gpusecmem.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
+			os.Exit(1)
+		}
+		for _, t := range e.Run(gpusecmem.NewContext(gpusecmem.Options{})) {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}

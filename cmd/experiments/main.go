@@ -1,0 +1,134 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig3                        # one experiment
+//	experiments -exp all                         # everything, in paper order
+//	experiments -list                            # show the catalogue
+//	experiments -exp fig7 -cycles 60000 -benchmarks fdtd2d,lbm -format csv
+//	experiments -exp all -out results/           # one file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gpusecmem"
+	"gpusecmem/internal/report"
+)
+
+func writeTable(w io.Writer, t *report.Table, format string) error {
+	switch format {
+	case "csv":
+		return t.WriteCSV(w)
+	case "md":
+		return t.WriteMarkdown(w)
+	default:
+		return t.WriteText(w)
+	}
+}
+
+func extFor(format string) string {
+	switch format {
+	case "csv":
+		return "csv"
+	case "md":
+		return "md"
+	default:
+		return "txt"
+	}
+}
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		cycles     = flag.Uint64("cycles", 24000, "simulated cycles per run")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table IV)")
+		format     = flag.String("format", "text", "output format: text|csv|md")
+		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range gpusecmem.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	switch *format {
+	case "text", "csv", "md":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	opts := gpusecmem.Options{Cycles: *cycles}
+	if *benchmarks != "" {
+		opts.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	ctx := gpusecmem.NewContext(opts)
+
+	var selected []gpusecmem.Experiment
+	if *exp == "all" {
+		selected = gpusecmem.Experiments()
+	} else {
+		e, ok := gpusecmem.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		selected = []gpusecmem.Experiment{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(ctx)
+
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+"."+extFor(*format))
+			var err error
+			f, err = os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w = f
+		}
+
+		fmt.Fprintf(w, "# %s\n", e.Title)
+		fmt.Fprintf(w, "# paper: %s\n", e.PaperFinding)
+		for _, t := range tables {
+			if err := writeTable(w, t, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "write: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-22s -> %s (%s, %d cached runs)\n",
+				e.ID, filepath.Join(*outDir, e.ID+"."+extFor(*format)),
+				time.Since(start).Round(time.Millisecond), ctx.CachedRuns())
+		} else {
+			fmt.Printf("# (%s, %d cached runs)\n\n", time.Since(start).Round(time.Millisecond), ctx.CachedRuns())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command secmemsim runs one benchmark on one secure-memory
+// configuration and prints the full statistics — the low-level tool
+// behind the experiment harness.
+//
+// Usage:
+//
+//	secmemsim -bench fdtd2d -scheme ctr_mac_bmt -cycles 60000
+//	secmemsim -bench lbm -scheme direct_mac -aes-latency 80
+//	secmemsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpusecmem"
+)
+
+func schemeConfig(scheme string, aesLatency, engines, metaKB, mshrs int, unified bool) (gpusecmem.Config, error) {
+	cfg, err := gpusecmem.ConfigForScheme(scheme)
+	if err != nil {
+		return cfg, err
+	}
+	if cfg.Secure.Encryption != gpusecmem.EncNone {
+		cfg.Secure.AESLatency = aesLatency
+		cfg.Secure.AESEngines = engines
+		if metaKB > 0 {
+			cfg.Secure.MetaCacheBytes = metaKB * 1024
+		}
+		cfg.Secure.MetaMSHRs = mshrs
+		cfg.Secure.Unified = unified
+	}
+	return cfg, nil
+}
+
+func main() {
+	var (
+		bench      = flag.String("bench", "fdtd2d", "benchmark name (Table IV)")
+		scheme     = flag.String("scheme", "ctr_mac_bmt", "baseline|ctr|ctr_bmt|ctr_mac_bmt|direct|direct_mac|direct_mac_mt")
+		cycles     = flag.Uint64("cycles", 60000, "simulated cycles")
+		aesLatency = flag.Int("aes-latency", 40, "AES latency in cycles")
+		engines    = flag.Int("aes-engines", 2, "AES engines per partition")
+		metaKB     = flag.Int("meta-kb", 0, "metadata cache KB per type (0 = scheme default)")
+		mshrs      = flag.Int("mshrs", 64, "MSHRs per metadata cache")
+		unified    = flag.Bool("unified", false, "use a unified metadata cache")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range gpusecmem.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	cfg, err := schemeConfig(*scheme, *aesLatency, *engines, *metaKB, *mshrs, *unified)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.MaxCycles = *cycles
+
+	base := gpusecmem.BaselineConfig()
+	base.MaxCycles = *cycles
+	bres, err := gpusecmem.Simulate(base, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := gpusecmem.Simulate(cfg, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark        %s\n", *bench)
+	fmt.Printf("scheme           %s\n", *scheme)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("IPC              %.2f (baseline %.2f, normalized %.3f)\n",
+		res.IPC(), bres.IPC(), res.NormalizedIPC(bres))
+	fmt.Printf("bandwidth        %.2f%% of peak\n", 100*res.BandwidthUtilization())
+	fmt.Printf("L1 miss rate     %.2f%%\n", 100*res.L1.MissRate())
+	fmt.Printf("L2 miss rate     %.2f%%\n", 100*res.L2.MissRate())
+	fmt.Printf("DRAM requests    data=%d ctr=%d mac=%d bmt=%d wb=%d\n",
+		res.RequestsByKind[0], res.RequestsByKind[1], res.RequestsByKind[2],
+		res.RequestsByKind[3], res.RequestsByKind[4])
+	fmt.Printf("DRAM bytes       data=%d ctr=%d mac=%d bmt=%d wb=%d\n",
+		res.BytesByKind[0], res.BytesByKind[1], res.BytesByKind[2],
+		res.BytesByKind[3], res.BytesByKind[4])
+	for m := 0; m < 3; m++ {
+		ms := res.Meta[m]
+		if ms.Accesses == 0 {
+			continue
+		}
+		fmt.Printf("meta[%d]          accesses=%d miss=%.2f%% secondary=%.2f%%\n",
+			m, ms.Accesses, 100*ms.MissRate(), 100*ms.SecondaryRatio())
+	}
+}

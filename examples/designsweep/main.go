@@ -1,0 +1,48 @@
+// Designsweep runs a miniature version of the paper's design-space
+// exploration on a selectable set of workloads: it sweeps the
+// metadata cache size and MSHR count for counter-mode encryption and
+// compares counter mode against direct encryption, printing
+// normalized-IPC tables like Figures 6, 7 and 17.
+//
+//	go run ./examples/designsweep
+//	go run ./examples/designsweep -benchmarks fdtd2d,lbm -cycles 30000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpusecmem"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "nw,kmeans,fdtd2d", "comma-separated Table IV benchmarks")
+		cycles     = flag.Uint64("cycles", 12000, "simulated cycles per run")
+	)
+	flag.Parse()
+
+	ctx := gpusecmem.NewContext(gpusecmem.Options{
+		Cycles:     *cycles,
+		Benchmarks: strings.Split(*benchmarks, ","),
+	})
+
+	for _, id := range []string{"fig6", "fig7", "fig17"} {
+		e, ok := gpusecmem.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "missing experiment %s\n", id)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s\n", e.Title)
+		for _, t := range e.Run(ctx) {
+			if err := t.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("(%d distinct simulations, memoized across the three figures)\n", ctx.CachedRuns())
+}

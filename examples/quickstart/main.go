@@ -1,0 +1,58 @@
+// Quickstart: a functional secure GPU memory in thirty lines.
+//
+// Builds a counter-mode secure memory (split counters + sector MACs +
+// Bonsai Merkle Tree), writes and reads data through it, and shows
+// that the untrusted backing store only ever sees ciphertext.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"gpusecmem"
+)
+
+func main() {
+	var keys gpusecmem.Keys
+	copy(keys.Encryption[:], "quickstart-enc-k")
+	copy(keys.MAC[:], "quickstart-mac-k")
+	copy(keys.Tree[:], "quickstart-tree")
+
+	// 1 MB protected region with encryption + MACs + BMT.
+	mem, err := gpusecmem.NewCounterModeMemory(1<<20, keys, gpusecmem.FullProtection)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secret := make([]byte, 128)
+	copy(secret, "model weights: [0.23, -1.17, 4.2, ...]")
+	if err := mem.WriteLine(0x1000, secret); err != nil {
+		log.Fatal(err)
+	}
+
+	// The device DRAM (untrusted) holds only ciphertext.
+	raw := mem.Backing().Snapshot(0x1000, 128)
+	fmt.Printf("plaintext:  %q\n", secret[:38])
+	fmt.Printf("in DRAM:    %x...\n", raw[:24])
+	if bytes.Contains(raw, secret[:16]) {
+		log.Fatal("plaintext leaked to DRAM!")
+	}
+
+	// Reading back verifies MACs and the BMT chain, then decrypts.
+	got := make([]byte, 128)
+	if err := mem.ReadLine(0x1000, got); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back:  %q\n", got[:38])
+
+	// A physical attacker flips one DRAM bit...
+	mem.Backing().Write(0x1000, []byte{raw[0] ^ 0x01})
+	if err := mem.ReadLine(0x1000, got); err != nil {
+		fmt.Printf("tamper:     detected -> %v\n", err)
+	} else {
+		log.Fatal("tampering was not detected")
+	}
+}

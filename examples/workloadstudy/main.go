@@ -1,0 +1,44 @@
+// Workloadstudy characterizes the fourteen Table IV workloads on the
+// baseline (insecure) GPU: bandwidth utilization, IPC, cache miss
+// rates, and the resulting intensity class, side by side with the
+// paper's reported values. It is the reproduction of Table IV plus
+// Figure 14.
+//
+//	go run ./examples/workloadstudy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpusecmem"
+)
+
+func main() {
+	cycles := flag.Uint64("cycles", 20000, "simulated cycles per benchmark")
+	flag.Parse()
+
+	cfg := gpusecmem.BaselineConfig()
+	cfg.MaxCycles = *cycles
+
+	fmt.Printf("%-14s %9s %10s %8s %8s %8s\n",
+		"benchmark", "IPC", "paper-IPC", "bw-util", "L1-miss", "L2-miss")
+	for _, b := range gpusecmem.Benchmarks() {
+		res, err := gpusecmem.Simulate(cfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paperIPC := map[string]float64{
+			"heartwall": 1195.37, "lavaMD": 4615.23, "nw": 23.90, "b+tree": 2768.61,
+			"backprop": 3067.61, "cfd": 1076.98, "dwt2d": 784.70, "kmeans": 97.04,
+			"bfs": 699.51, "srad_v2": 3306.82, "streamcluster": 1178.18,
+			"2Dconvolution": 2487.22, "fdtd2d": 1773.95, "lbm": 552.12,
+		}[b]
+		fmt.Printf("%-14s %9.1f %10.1f %7.1f%% %7.1f%% %7.1f%%\n",
+			b, res.IPC(), paperIPC,
+			100*res.BandwidthUtilization(),
+			100*res.L1.MissRate(), 100*res.L2.MissRate())
+	}
+	fmt.Println("\nclasses: <20% non-intensive, 20-50% medium, >50% memory-intensive (Table IV)")
+}

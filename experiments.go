@@ -1,0 +1,952 @@
+package gpusecmem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"gpusecmem/internal/area"
+	"gpusecmem/internal/cache"
+	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/report"
+	"gpusecmem/internal/sim"
+	"gpusecmem/internal/stats"
+	"gpusecmem/internal/trace"
+)
+
+// Options controls how experiments run.
+type Options struct {
+	// Cycles per simulation (default 24000). The paper simulates 4M
+	// cycles; the workloads here reach steady state within a few
+	// thousand, so shorter windows preserve the comparisons.
+	Cycles uint64
+	// Benchmarks to include (default: all of Table IV).
+	Benchmarks []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cycles == 0 {
+		o.Cycles = 24000
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = Benchmarks()
+	}
+	return o
+}
+
+// Context memoizes simulation runs across experiments: many figures
+// share configurations (e.g. the secureMem design appears in Figures
+// 6, 7, 8, 12, 16 and 17), so each (config, benchmark) pair simulates
+// once.
+type Context struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[string]*Result
+}
+
+// NewContext builds a run context.
+func NewContext(opts Options) *Context {
+	return &Context{opts: opts.withDefaults(), cache: make(map[string]*Result)}
+}
+
+// Benchmarks returns the benchmark list in effect.
+func (c *Context) Benchmarks() []string { return c.opts.Benchmarks }
+
+// Run simulates (cfg, benchmark), memoized.
+func (c *Context) Run(cfg Config, benchmark string) *Result {
+	cfg.MaxCycles = c.opts.Cycles
+	key := fmt.Sprintf("%+v|%s", cfg, benchmark)
+	c.mu.Lock()
+	if r, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return r
+	}
+	c.mu.Unlock()
+	r, err := Simulate(cfg, benchmark)
+	if err != nil {
+		panic(fmt.Sprintf("gpusecmem: experiment run failed: %v", err))
+	}
+	c.mu.Lock()
+	c.cache[key] = r
+	c.mu.Unlock()
+	return r
+}
+
+// CachedRuns reports how many distinct runs have been simulated.
+func (c *Context) CachedRuns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the lookup key ("table1".."table7", "fig3".."fig17",
+	// "ablation-*").
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// PaperFinding summarizes what the paper reports, for comparison.
+	PaperFinding string
+	// Run produces the result tables.
+	Run func(*Context) []*report.Table
+}
+
+// geomean of a slice (zeros clamped to a floor to stay defined).
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v < 1e-9 {
+			v = 1e-9
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// --- Configuration presets (Tables V and VIII) ---
+
+func cfgSecureNoMSHR() Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.MetaMSHRs = 0
+	return cfg
+}
+
+func cfgZeroCrypto() Config {
+	cfg := cfgSecureNoMSHR()
+	cfg.Secure.AESLatency = 0
+	cfg.Secure.MACLatency = 0
+	return cfg
+}
+
+func cfgPerfMdc() Config {
+	cfg := cfgSecureNoMSHR()
+	cfg.Secure.PerfectMeta = true
+	return cfg
+}
+
+func cfgLargeMdc() Config {
+	cfg := cfgSecureNoMSHR()
+	cfg.Secure.UnlimitedMeta = true
+	cfg.Secure.MetaMSHRs = 64
+	return cfg
+}
+
+func cfgMSHR(n int) Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.MetaMSHRs = n
+	return cfg
+}
+
+func cfgMetaSize(kb int) Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.MetaCacheBytes = kb * 1024
+	return cfg
+}
+
+func cfgUnified() Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.Unified = true
+	return cfg
+}
+
+func cfgEngines(n int) Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.AESEngines = n
+	return cfg
+}
+
+// cfgL2 sets the total L2 capacity in KB (64 banks).
+func cfgL2(totalKB int, secure bool) Config {
+	var cfg Config
+	if secure {
+		cfg = SecureMemConfig()
+	} else {
+		cfg = BaselineConfig()
+	}
+	cfg.L2BankBytes = totalKB * 1024 / (cfg.NumPartitions * cfg.L2BanksPerPartition)
+	return cfg
+}
+
+func cfgDirect(latency int) Config { return DirectMemConfig(latency, false, false) }
+
+func cfgCtr() Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.MAC = false
+	cfg.Secure.Tree = false
+	return cfg
+}
+
+func cfgCtrBMT() Config {
+	cfg := SecureMemConfig()
+	cfg.Secure.MAC = false
+	return cfg
+}
+
+// --- The per-benchmark normalized-IPC table shared by most figures ---
+
+func normalizedIPCTable(c *Context, title string, schemes []struct {
+	Name string
+	Cfg  Config
+}) *report.Table {
+	headers := append([]string{"benchmark"}, func() []string {
+		out := make([]string, len(schemes))
+		for i, s := range schemes {
+			out[i] = s.Name
+		}
+		return out
+	}()...)
+	t := report.New(title, headers...)
+	perScheme := make([][]float64, len(schemes))
+	for _, b := range c.Benchmarks() {
+		base := c.Run(BaselineConfig(), b)
+		row := []interface{}{b}
+		for i, s := range schemes {
+			n := c.Run(s.Cfg, b).NormalizedIPC(base)
+			perScheme[i] = append(perScheme[i], n)
+			row = append(row, report.F3(n))
+		}
+		t.AddRow(row...)
+	}
+	grow := []interface{}{"gmean"}
+	for i := range schemes {
+		grow = append(grow, report.F3(geomean(perScheme[i])))
+	}
+	t.AddRow(grow...)
+	return t
+}
+
+// Experiments returns the full registry, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		expTable1(), expTable2(), expTable3(), expTable4(), expTable5(),
+		expFig3(), expFig4(), expFig5(), expFig6(), expFig7(),
+		expFig8(), expFig9(), expFig10(), expFig11(), expFig12(),
+		expTable6(), expTable7(), expFig13(), expFig14(),
+		expFig15(), expFig16(), expFig17(),
+		expAblationMergeCap(), expAblationAllocPolicy(), expAblationSpecVerify(),
+		expAblationLazyUpdate(), expAblationSectoredL2(),
+		expExtSmartUnified(), expExtSelective(),
+	}
+}
+
+// ExperimentByID finds one experiment; ok is false for unknown ids.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func expTable1() Experiment {
+	return Experiment{
+		ID:           "table1",
+		Title:        "Table I: Baseline GPU configuration",
+		PaperFinding: "Volta-class: 80 SMs @1132MHz, 6MB L2, 868GB/s over 32 partitions",
+		Run: func(c *Context) []*report.Table {
+			cfg := BaselineConfig()
+			t := report.New("Table I: baseline GPU configuration", "parameter", "value")
+			t.AddRow("SMs", fmt.Sprintf("%d", cfg.NumSMs))
+			t.AddRow("issue width / SM", fmt.Sprintf("%d", cfg.IssueWidth))
+			t.AddRow("L1 D-cache / SM", fmt.Sprintf("%dKB, %d-way, sectored", cfg.L1Bytes/1024, cfg.L1Assoc))
+			t.AddRow("L2 cache", fmt.Sprintf("%d banks/partition, %dKB/bank, %dKB total",
+				cfg.L2BanksPerPartition, cfg.L2BankBytes/1024,
+				cfg.L2BanksPerPartition*cfg.NumPartitions*cfg.L2BankBytes/1024))
+			t.AddRow("DRAM", fmt.Sprintf("%d partitions, 24B/core-cycle each (868GB/s aggregate)", cfg.NumPartitions))
+			t.AddRow("DRAM banks / partition", fmt.Sprintf("%d", cfg.DRAM.Banks))
+			t.AddRow("protected memory", fmt.Sprintf("%dGB", cfg.ProtectedBytes>>30))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expTable2() Experiment {
+	return Experiment{
+		ID:           "table2",
+		Title:        "Table II: Metadata organization and storage",
+		PaperFinding: "counter 32MB, MAC 256MB, BMT 2.14MB (6 levels) / MT 17.1MB (7 levels)",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Table II: metadata organization and storage (4GB protected)",
+				"metadata", "counter-mode", "direct")
+			bmt := geometry.MustLayout(4<<30, geometry.BMT).Storage()
+			mt := geometry.MustLayout(4<<30, geometry.MT).Storage()
+			mb := func(b uint64) string { return fmt.Sprintf("%.2fMB", float64(b)/(1<<20)) }
+			t.AddRow("counter (128B/16KB, 7b/blk)", mb(bmt.CounterBytes), "-")
+			t.AddRow("MAC (8B/blk, 2B/sector)", mb(bmt.MACBytes), mb(mt.MACBytes))
+			t.AddRow(fmt.Sprintf("tree (16-ary, %d/%d levels)", bmt.TreeLevelsIncLeaves, mt.TreeLevelsIncLeaves),
+				mb(bmt.TreeBytes), mb(mt.TreeBytes))
+			t.AddRow("total", mb(bmt.TotalBytes()), mb(mt.TotalBytes()))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expTable3() Experiment {
+	return Experiment{
+		ID:           "table3",
+		Title:        "Table III: Metadata cache organization",
+		PaperFinding: "2KB/type/partition default, 64 MSHRs, allocate-on-fill; unified 6KB/192 MSHRs",
+		Run: func(c *Context) []*report.Table {
+			sc := SecureMemConfig().Secure
+			t := report.New("Table III: metadata cache organization", "cache", "configuration")
+			per := fmt.Sprintf("{2,4,8,16,32,64}KB/partition, %dKB default, 128B lines, %d MSHRs, allocate-on-fill",
+				sc.MetaCacheBytes/1024, sc.MetaMSHRs)
+			t.AddRow("counter cache", per+fmt.Sprintf(", merge cap %d", sc.MergeCapCounter))
+			t.AddRow("MAC cache", per+fmt.Sprintf(", merge cap %d", sc.MergeCapMAC))
+			t.AddRow("(Bonsai) Merkle tree cache", per+fmt.Sprintf(", merge cap %d", sc.MergeCapTree))
+			t.AddRow("unified metadata cache", fmt.Sprintf("%dKB/partition, 128B lines, %d MSHRs, allocate-on-fill",
+				sc.UnifiedBytes/1024, sc.UnifiedMSHRs))
+			t.AddRow("hash/MAC latency", fmt.Sprintf("%d cycles", sc.MACLatency))
+			t.AddRow("AES engines", fmt.Sprintf("{1,2}/partition, %d default, pipelined 16B/mem-cycle", sc.AESEngines))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expTable4() Experiment {
+	return Experiment{
+		ID:           "table4",
+		Title:        "Table IV: Benchmarks (bandwidth utilization and IPC)",
+		PaperFinding: "3 classes: <20%, 20-50%, >50% of peak DRAM bandwidth",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Table IV: baseline benchmark characterization",
+				"benchmark", "bw-util", "IPC", "paper-IPC", "class", "paper-class")
+			for _, b := range c.Benchmarks() {
+				r := c.Run(BaselineConfig(), b)
+				bw := r.BandwidthUtilization()
+				var cls trace.Class
+				switch {
+				case bw < 0.20:
+					cls = trace.NonIntensive
+				case bw <= 0.50:
+					cls = trace.MediumIntensive
+				default:
+					cls = trace.MemoryIntensive
+				}
+				t.AddRow(b, report.Pct(bw), fmt.Sprintf("%.1f", r.IPC()),
+					fmt.Sprintf("%.1f", trace.PaperIPC(b)), cls.String(), trace.PaperClass(b).String())
+			}
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expTable5() Experiment {
+	return Experiment{
+		ID:           "table5",
+		Title:        "Table V: Evaluated designs for counter-mode encryption",
+		PaperFinding: "baseline / secureMem / 0_crypto / perf_mdc / large_mdc / mshr_x / separate / unified",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Table V: counter-mode design matrix", "scheme", "what it represents")
+			t.AddRow("baseline", "GPU without secure memory support")
+			t.AddRow("secureMem", "counter-mode encryption + MAC + BMT (no metadata MSHRs in Fig 3/4/5)")
+			t.AddRow("0_crypto", "secureMem with 0-cycle MAC and AES latency")
+			t.AddRow("perf_mdc", "secureMem with perfect metadata caches")
+			t.AddRow("large_mdc", "secureMem with unlimited-capacity metadata caches")
+			t.AddRow("mshr_x", "secureMem with x MSHRs per metadata cache")
+			t.AddRow("separate", "per-type 2KB metadata caches per partition")
+			t.AddRow("unified", "one 6KB metadata cache per partition")
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expFig3() Experiment {
+	return Experiment{
+		ID:           "fig3",
+		Title:        "Fig 3: Normalized IPC of counter-mode encryption with BMT",
+		PaperFinding: "secureMem -65.9% gmean (up to -91% for lbm); 0_crypto does not help; perf/large metadata caches recover to ~baseline",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 3: normalized IPC (counter mode + BMT)",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"secureMem", cfgSecureNoMSHR()},
+					{"0_crypto", cfgZeroCrypto()},
+					{"perf_mdc", cfgPerfMdc()},
+					{"large_mdc", cfgLargeMdc()},
+				})}
+		},
+	}
+}
+
+func expFig4() Experiment {
+	return Experiment{
+		ID:           "fig4",
+		Title:        "Fig 4: Distribution of memory-request types (secureMem)",
+		PaperFinding: "MACs 25.6% and counters 21.8% of requests on average; BMT high for bfs/b+tree/kmeans/nw/lbm",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Fig 4: DRAM request distribution under secureMem",
+				"benchmark", "data", "ctr", "mac", "bmt", "wb")
+			cfg := cfgSecureNoMSHR()
+			var sums [5]float64
+			for _, b := range c.Benchmarks() {
+				r := c.Run(cfg, b)
+				row := []interface{}{b}
+				for k := sim.KindData; k <= sim.KindWB; k++ {
+					share := r.RequestShare(k)
+					sums[int(k)] += share
+					row = append(row, report.Pct(share))
+				}
+				t.AddRow(row...)
+			}
+			n := float64(len(c.Benchmarks()))
+			t.AddRow("mean", report.Pct(sums[0]/n), report.Pct(sums[1]/n),
+				report.Pct(sums[2]/n), report.Pct(sums[3]/n), report.Pct(sums[4]/n))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expFig5() Experiment {
+	return Experiment{
+		ID:           "fig5",
+		Title:        "Fig 5: Secondary misses in metadata caches",
+		PaperFinding: "secondary misses: ctr 64.96%, MAC 59.67%, BMT 85.63% on average; >90% for streamcluster",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Fig 5: secondary-miss ratio of metadata cache misses",
+				"benchmark", "ctr", "mac", "bmt")
+			cfg := cfgSecureNoMSHR()
+			var sums [3]float64
+			for _, b := range c.Benchmarks() {
+				r := c.Run(cfg, b)
+				row := []interface{}{b}
+				for m := sim.MetaCounter; m <= sim.MetaTree; m++ {
+					v := r.Meta[m].SecondaryRatio()
+					sums[int(m)] += v
+					row = append(row, report.Pct(v))
+				}
+				t.AddRow(row...)
+			}
+			n := float64(len(c.Benchmarks()))
+			t.AddRow("mean", report.Pct(sums[0]/n), report.Pct(sums[1]/n), report.Pct(sums[2]/n))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expFig6() Experiment {
+	return Experiment{
+		ID:           "fig6",
+		Title:        "Fig 6: Normalized IPC vs metadata-cache MSHR count",
+		PaperFinding: "64 MSHRs per metadata cache is the sweet spot of performance vs cost",
+		Run: func(c *Context) []*report.Table {
+			var schemes []struct {
+				Name string
+				Cfg  Config
+			}
+			for _, n := range []int{0, 8, 16, 32, 64, 128} {
+				schemes = append(schemes, struct {
+					Name string
+					Cfg  Config
+				}{fmt.Sprintf("mshr_%d", n), cfgMSHR(n)})
+			}
+			return []*report.Table{normalizedIPCTable(c, "Fig 6: normalized IPC vs MSHRs", schemes)}
+		},
+	}
+}
+
+func expFig7() Experiment {
+	return Experiment{
+		ID:           "fig7",
+		Title:        "Fig 7: Normalized IPC vs metadata cache size",
+		PaperFinding: "even 64KB/type (6MB total) leaves 46.17% average degradation; kmeans/srad_v2/lbm stay >65% slower",
+		Run: func(c *Context) []*report.Table {
+			var schemes []struct {
+				Name string
+				Cfg  Config
+			}
+			for _, kb := range []int{2, 4, 8, 16, 32, 64} {
+				schemes = append(schemes, struct {
+					Name string
+					Cfg  Config
+				}{fmt.Sprintf("%dKB", kb), cfgMetaSize(kb)})
+			}
+			return []*report.Table{normalizedIPCTable(c, "Fig 7: normalized IPC vs metadata cache size", schemes)}
+		},
+	}
+}
+
+func expFig8() Experiment {
+	return Experiment{
+		ID:           "fig8",
+		Title:        "Fig 8: Unified vs separate metadata caches",
+		PaperFinding: "separate metadata caches outperform a same-capacity unified cache on GPUs (opposite of CPUs)",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 8: unified vs separate metadata caches",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"separate", SecureMemConfig()},
+					{"unified", cfgUnified()},
+				})}
+		},
+	}
+}
+
+func expFig9() Experiment {
+	return Experiment{
+		ID:           "fig9",
+		Title:        "Fig 9: Metadata miss rates, unified vs separate",
+		PaperFinding: "unified raises miss rates: ctr 22.77->24.03%, MAC 31.75->31.82%, BMT 4.02->5.93%; unified writebacks 1.47x",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Fig 9: metadata miss rates (averages over benchmarks)",
+				"metadata", "separate", "unified")
+			var sep, uni [3]float64
+			var sepWB, uniWB float64
+			for _, b := range c.Benchmarks() {
+				rs := c.Run(SecureMemConfig(), b)
+				ru := c.Run(cfgUnified(), b)
+				for m := 0; m < 3; m++ {
+					sep[m] += rs.Meta[m].MissRate()
+					uni[m] += ru.Meta[m].MissRate()
+				}
+				sepWB += float64(rs.MetaCacheWritebacks)
+				uniWB += float64(ru.MetaCacheWritebacks)
+			}
+			n := float64(len(c.Benchmarks()))
+			for m := sim.MetaCounter; m <= sim.MetaTree; m++ {
+				t.AddRow(m.String(), report.Pct(sep[m]/n), report.Pct(uni[m]/n))
+			}
+			ratio := 0.0
+			if sepWB > 0 {
+				ratio = uniWB / sepWB
+			}
+			t.AddRow("writeback ratio (unified/separate)", "1.000", report.F3(ratio))
+			return []*report.Table{t}
+		},
+	}
+}
+
+func reuseTable(title string, p *stats.ReuseProfiler) *report.Table {
+	t := report.New(title, "reuse distance", "accesses", "fraction")
+	fr := p.Fractions()
+	for i, b := range stats.ReuseBuckets {
+		t.AddRow(b.Label, fmt.Sprintf("%d", p.Hist[i]), report.Pct(fr[i]))
+	}
+	t.AddRow("cold", fmt.Sprintf("%d", p.Cold), "-")
+	return t
+}
+
+func profiledRun(c *Context, bench string) *Result {
+	cfg := SecureMemConfig()
+	cfg.ProfileReuse = true
+	return c.Run(cfg, bench)
+}
+
+func expFig10() Experiment {
+	return Experiment{
+		ID:           "fig10",
+		Title:        "Fig 10: Reuse distance of counters (fdtd2d)",
+		PaperFinding: "most counter accesses have reuse distance 0 (streaming); a long [65,512] tail needs capacity",
+		Run: func(c *Context) []*report.Table {
+			r := profiledRun(c, "fdtd2d")
+			if r.CounterReuse == nil {
+				return nil
+			}
+			return []*report.Table{reuseTable("Fig 10: counter reuse distance, fdtd2d (partition 0)", r.CounterReuse)}
+		},
+	}
+}
+
+func expFig11() Experiment {
+	return Experiment{
+		ID:           "fig11",
+		Title:        "Fig 11: Reuse distance of MACs (fdtd2d)",
+		PaperFinding: "MAC accesses mirror the counter pattern: distance 0 dominates",
+		Run: func(c *Context) []*report.Table {
+			r := profiledRun(c, "fdtd2d")
+			if r.MACReuse == nil {
+				return nil
+			}
+			return []*report.Table{reuseTable("Fig 11: MAC reuse distance, fdtd2d (partition 0)", r.MACReuse)}
+		},
+	}
+}
+
+func expFig12() Experiment {
+	return Experiment{
+		ID:           "fig12",
+		Title:        "Fig 12: Normalized IPC with 1 vs 2 AES engines per partition",
+		PaperFinding: "one pipelined AES engine per partition is enough; metadata traffic, not AES throughput, is the bottleneck",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 12: AES engines per partition",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"1 engine", cfgEngines(1)},
+					{"2 engines", cfgEngines(2)},
+				})}
+		},
+	}
+}
+
+func expTable6() Experiment {
+	return Experiment{
+		ID:           "table6",
+		Title:        "Table VI: Published AES engine die areas",
+		PaperFinding: "most recent: 4900 um^2 at 14nm (JSSC'20)",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Table VI: published AES die areas", "source", "tech", "area (mm^2)")
+			for _, d := range area.PublishedAES() {
+				t.AddRow(d.Source, fmt.Sprintf("%.0fnm", d.TechNm), fmt.Sprintf("%g", d.AreaMM2))
+			}
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expTable7() Experiment {
+	return Experiment{
+		ID:           "table7",
+		Title:        "Table VII: Areas scaled to 12nm and the L2 budget",
+		PaperFinding: "AES 0.0036mm^2; security hardware costs ~1526KB of L2-equivalent area (24.84% of L2)",
+		Run: func(c *Context) []*report.Table {
+			m := area.NewModel()
+			t := report.New("Table VII: scaled die areas (12nm)", "component", "area (mm^2)")
+			t.AddRow("AES engine", fmt.Sprintf("%.4f", m.AESEngineMM2))
+			t.AddRow("64KB cache", fmt.Sprintf("%.5f", m.Cache64KBMM2))
+			t.AddRow("96KB cache", fmt.Sprintf("%.5f", m.Cache96KBMM2))
+
+			b := report.New("Section V-F: L2-capacity budget", "configuration", "area (mm^2)", "L2-equivalent (KB)", "% of 6MB L2")
+			for _, engines := range []int{1, 2} {
+				bud := m.SecureMemoryBudget(engines, 32)
+				b.AddRow(fmt.Sprintf("%d engine(s)/partition + MAC units + 3x64KB caches", engines),
+					fmt.Sprintf("%.4f", bud.TotalMM2),
+					fmt.Sprintf("%.0f", bud.L2ReducedKB),
+					fmt.Sprintf("%.2f%%", bud.L2ReducedPct))
+			}
+			return []*report.Table{t, b}
+		},
+	}
+}
+
+func expFig13() Experiment {
+	return Experiment{
+		ID:           "fig13",
+		Title:        "Fig 13: Normalized IPC with reduced L2 capacities (secureMem)",
+		PaperFinding: "a few medium-intensive benchmarks are L2-sensitive; compute- and fully-streaming ones are not",
+		Run: func(c *Context) []*report.Table {
+			var schemes []struct {
+				Name string
+				Cfg  Config
+			}
+			for _, mb := range []int{4096, 4608, 5120, 5632, 6144} {
+				schemes = append(schemes, struct {
+					Name string
+					Cfg  Config
+				}{fmt.Sprintf("%.1fMB", float64(mb)/1024), cfgL2(mb, true)})
+			}
+			return []*report.Table{normalizedIPCTable(c, "Fig 13: secureMem IPC vs L2 capacity", schemes)}
+		},
+	}
+}
+
+func expFig14() Experiment {
+	return Experiment{
+		ID:           "fig14",
+		Title:        "Fig 14: Baseline L2 miss rates",
+		PaperFinding: "streamcluster ~97% L2 miss; compute-bound kernels have few L2 accesses",
+		Run: func(c *Context) []*report.Table {
+			t := report.New("Fig 14: baseline L2 miss rate", "benchmark", "L2 miss rate", "L2 accesses")
+			for _, b := range c.Benchmarks() {
+				r := c.Run(BaselineConfig(), b)
+				t.AddRow(b, report.Pct(r.L2.MissRate()), fmt.Sprintf("%d", r.L2.Accesses))
+			}
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expFig15() Experiment {
+	return Experiment{
+		ID:           "fig15",
+		Title:        "Fig 15: Direct encryption with different latencies",
+		PaperFinding: "slowdowns of only 1.33% / 3.02% / 5.93% at 40/80/160 cycles; >10% for b+tree, nw, streamcluster at 160",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 15: direct encryption latency sweep",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"direct_40", cfgDirect(40)},
+					{"direct_80", cfgDirect(80)},
+					{"direct_160", cfgDirect(160)},
+				})}
+		},
+	}
+}
+
+func expFig16() Experiment {
+	return Experiment{
+		ID:           "fig16",
+		Title:        "Fig 16: Direct vs counter-mode encryption",
+		PaperFinding: "counter mode without integrity already costs 33.06% (66.44% for lbm); +BMT raises it to 43.94%; direct is near-free",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 16: direct vs counter-mode encryption",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"direct_40", cfgDirect(40)},
+					{"ctr", cfgCtr()},
+					{"ctr_bmt", cfgCtrBMT()},
+				})}
+		},
+	}
+}
+
+func expFig17() Experiment {
+	return Experiment{
+		ID:           "fig17",
+		Title:        "Fig 17: Encryption with integrity protection",
+		PaperFinding: "direct_mac -42.65% beats ctr_mac_bmt -63.45%; direct_mac_mt is worst at -71.87% (taller tree)",
+		Run: func(c *Context) []*report.Table {
+			return []*report.Table{normalizedIPCTable(c, "Fig 17: integrity protection designs",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"ctr_mac_bmt", SecureMemConfig()},
+					{"direct_mac", DirectMemConfig(40, true, false)},
+					{"direct_mac_mt", DirectMemConfig(40, true, true)},
+				})}
+		},
+	}
+}
+
+// --- Ablations of design choices called out in DESIGN.md ---
+
+func ablationBenchmarks(c *Context) []string {
+	// One per class keeps ablations cheap but representative.
+	all := map[string]bool{}
+	for _, b := range c.Benchmarks() {
+		all[b] = true
+	}
+	var out []string
+	for _, b := range []string{"b+tree", "kmeans", "fdtd2d", "lbm"} {
+		if all[b] {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = c.Benchmarks()
+	}
+	return out
+}
+
+func ablationTable(c *Context, title string, schemes []struct {
+	Name string
+	Cfg  Config
+}) *report.Table {
+	headers := append([]string{"benchmark"}, func() []string {
+		out := make([]string, len(schemes))
+		for i, s := range schemes {
+			out[i] = s.Name
+		}
+		return out
+	}()...)
+	t := report.New(title, headers...)
+	for _, b := range ablationBenchmarks(c) {
+		base := c.Run(BaselineConfig(), b)
+		row := []interface{}{b}
+		for _, s := range schemes {
+			row = append(row, report.F3(c.Run(s.Cfg, b).NormalizedIPC(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func expAblationMergeCap() Experiment {
+	return Experiment{
+		ID:           "ablation-mergecap",
+		Title:        "Ablation: MSHR merge capacity 512/64/64 vs uniform small caps",
+		PaperFinding: "(design choice) counter MSHRs must merge up to 512 requests (one counter line covers 512 sectors)",
+		Run: func(c *Context) []*report.Table {
+			small := SecureMemConfig()
+			small.Secure.MergeCapCounter = 8
+			small.Secure.MergeCapMAC = 8
+			small.Secure.MergeCapTree = 8
+			return []*report.Table{ablationTable(c, "Ablation: MSHR merge capacity",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"cap 512/64/64", SecureMemConfig()},
+					{"cap 8/8/8", small},
+				})}
+		},
+	}
+}
+
+func expAblationAllocPolicy() Experiment {
+	return Experiment{
+		ID:           "ablation-allocpolicy",
+		Title:        "Ablation: allocate-on-fill vs allocate-on-miss metadata caches",
+		PaperFinding: "(design choice) the paper uses allocate-on-fill",
+		Run: func(c *Context) []*report.Table {
+			aom := SecureMemConfig()
+			aom.Secure.AllocOnFill = false
+			return []*report.Table{ablationTable(c, "Ablation: metadata cache allocation policy",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"allocate-on-fill", SecureMemConfig()},
+					{"allocate-on-miss", aom},
+				})}
+		},
+	}
+}
+
+func expAblationSpecVerify() Experiment {
+	return Experiment{
+		ID:           "ablation-specverify",
+		Title:        "Ablation: speculative vs blocking integrity verification",
+		PaperFinding: "(design choice) state-of-the-art CPUs use speculative verification; blocking exposes MAC latency",
+		Run: func(c *Context) []*report.Table {
+			blocking := SecureMemConfig()
+			blocking.Secure.SpeculativeVerify = false
+			return []*report.Table{ablationTable(c, "Ablation: verification policy",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"speculative", SecureMemConfig()},
+					{"blocking", blocking},
+				})}
+		},
+	}
+}
+
+func expAblationLazyUpdate() Experiment {
+	return Experiment{
+		ID:           "ablation-lazyupdate",
+		Title:        "Ablation: lazy vs eager integrity-tree update",
+		PaperFinding: "(design choice) lazy update defers parent hashing to metadata eviction time",
+		Run: func(c *Context) []*report.Table {
+			eager := SecureMemConfig()
+			eager.Secure.LazyTreeUpdate = false
+			return []*report.Table{ablationTable(c, "Ablation: tree update policy",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"lazy", SecureMemConfig()},
+					{"eager", eager},
+				})}
+		},
+	}
+}
+
+func expAblationSectoredL2() Experiment {
+	return Experiment{
+		ID:           "ablation-sectoredl2",
+		Title:        "Ablation: sectored vs non-sectored L2",
+		PaperFinding: "the sectored L2 is the root cause of secondary metadata misses (Section V-B)",
+		Run: func(c *Context) []*report.Table {
+			nonsec := cfgSecureNoMSHR()
+			nonsec.SectoredL2 = false
+			nonsecBase := BaselineConfig()
+			nonsecBase.SectoredL2 = false
+			t := report.New("Ablation: sectored L2 and secondary metadata misses",
+				"benchmark", "sectored ctr-2ndary", "non-sectored ctr-2ndary", "sectored mac-2ndary", "non-sectored mac-2ndary")
+			for _, b := range ablationBenchmarks(c) {
+				rs := c.Run(cfgSecureNoMSHR(), b)
+				rn := c.Run(nonsec, b)
+				t.AddRow(b,
+					report.Pct(rs.Meta[sim.MetaCounter].SecondaryRatio()),
+					report.Pct(rn.Meta[sim.MetaCounter].SecondaryRatio()),
+					report.Pct(rs.Meta[sim.MetaMAC].SecondaryRatio()),
+					report.Pct(rn.Meta[sim.MetaMAC].SecondaryRatio()))
+			}
+			return []*report.Table{t}
+		},
+	}
+}
+
+func expExtSmartUnified() Experiment {
+	return Experiment{
+		ID:    "ext-smartunified",
+		Title: "Extension: smart replacement policies for the unified metadata cache",
+		PaperFinding: "(suggested future work, Section V-D) 'use separate metadata caches or adopt smart " +
+			"replacement policies to avoid the thrashing behavior'",
+		Run: func(c *Context) []*report.Table {
+			mkUnified := func(p cache.Policy) Config {
+				cfg := cfgUnified()
+				cfg.Secure.UnifiedPolicy = p
+				return cfg
+			}
+			return []*report.Table{normalizedIPCTable(c, "Extension: unified metadata cache replacement policies",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"separate (lru)", SecureMemConfig()},
+					{"unified lru", mkUnified(cache.PolicyLRU)},
+					{"unified srrip", mkUnified(cache.PolicySRRIP)},
+					{"unified brrip", mkUnified(cache.PolicyBRRIP)},
+					{"unified dip", mkUnified(cache.PolicyDIP)},
+				})}
+		},
+	}
+}
+
+func expExtSelective() Experiment {
+	return Experiment{
+		ID:    "ext-selective",
+		Title: "Extension: selective encryption coverage",
+		PaperFinding: "(related work, Zuo et al.) selective memory encryption trades coverage for " +
+			"overhead; the paper's design protects everything",
+		Run: func(c *Context) []*report.Table {
+			mk := func(frac float64) Config {
+				cfg := SecureMemConfig()
+				cfg.Secure.ProtectedFraction = frac
+				return cfg
+			}
+			return []*report.Table{normalizedIPCTable(c, "Extension: fraction of memory protected (ctr_mac_bmt)",
+				[]struct {
+					Name string
+					Cfg  Config
+				}{
+					{"100%", mk(1.0)},
+					{"50%", mk(0.5)},
+					{"25%", mk(0.25)},
+					{"0%", mk(0.0)},
+				})}
+		},
+	}
+}
+
+// SortedIDs returns the experiment ids in registry order (useful for
+// CLI help).
+func SortedIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// GmeanNormalizedIPC is a convenience used by benches and tests: the
+// geometric-mean normalized IPC of cfg across the context's
+// benchmarks.
+func GmeanNormalizedIPC(c *Context, cfg Config) float64 {
+	var vs []float64
+	for _, b := range c.Benchmarks() {
+		base := c.Run(BaselineConfig(), b)
+		vs = append(vs, c.Run(cfg, b).NormalizedIPC(base))
+	}
+	sort.Float64s(vs)
+	return geomean(vs)
+}

@@ -1,0 +1,3 @@
+module gpusecmem
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package gpusecmem reproduces "Analyzing Secure Memory Architecture
+// for GPUs" (Yuan, Yudha, Solihin, Zhou — ISPASS 2021).
+//
+// The package has two halves, mirroring the paper:
+//
+//   - A *functional* secure-memory library: real counter-mode and
+//     direct-encryption engines (AES-128, AES-CMAC, split counters,
+//     Bonsai Merkle Tree / Merkle Tree, on-chip root register) that
+//     encrypt, authenticate, and detect tampering and replay of an
+//     untrusted backing store. See NewCounterModeMemory and
+//     NewDirectMemory.
+//
+//   - A cycle-level GPU *timing simulator* of the same architectures:
+//     80 Volta-class SMs, sectored L2, 32 memory partitions, per-
+//     partition metadata caches with MSHRs, pipelined AES engines, and
+//     banked DRAM. See BaselineConfig, SecureMemConfig, Simulate, and
+//     the Experiments registry, which regenerates every table and
+//     figure in the paper's evaluation.
+package gpusecmem
+
+import (
+	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/secmem"
+	"gpusecmem/internal/sim"
+	"gpusecmem/internal/trace"
+)
+
+// --- Functional secure memory ---
+
+// Keys holds the engine's three on-chip secret keys (encryption, MAC,
+// tree).
+type Keys = secmem.Keys
+
+// Protection selects MAC and integrity-tree coverage.
+type Protection = secmem.Protection
+
+// Integrity-tree node hash functions for Protection.TreeHash.
+const (
+	// TreeHashCMAC hashes tree nodes with AES-CMAC (default).
+	TreeHashCMAC = secmem.TreeHashCMAC
+	// TreeHashSHA256 hashes tree nodes with keyed SHA-256, the classic
+	// Merkle-tree construction.
+	TreeHashSHA256 = secmem.TreeHashSHA256
+)
+
+// FullProtection enables encryption, MACs and the integrity tree.
+var FullProtection = secmem.FullProtection
+
+// SecureMemory is the functional engine interface: line/sector reads
+// and writes over an encrypted, integrity-protected address space,
+// plus raw access to the untrusted backing store for attack studies.
+type SecureMemory = secmem.Engine
+
+// IntegrityError is returned when a read fails MAC or tree
+// verification (tamper or replay detected).
+type IntegrityError = secmem.IntegrityError
+
+// ScrubReport is the outcome of SecureMemory.VerifyAll: an offline
+// integrity sweep of the whole protected region.
+type ScrubReport = secmem.ScrubReport
+
+// NewCounterModeMemory builds a counter-mode engine (split counters,
+// stateful sector MACs, Bonsai Merkle Tree) protecting size bytes.
+// size must be a positive multiple of 16 KB.
+func NewCounterModeMemory(size uint64, keys Keys, prot Protection) (SecureMemory, error) {
+	return secmem.NewCounterMode(size, keys, prot)
+}
+
+// NewDirectMemory builds a direct-encryption engine (address-tweaked
+// AES, sector MACs, Merkle Tree over MAC lines) protecting size bytes.
+func NewDirectMemory(size uint64, keys Keys, prot Protection) (SecureMemory, error) {
+	return secmem.NewDirect(size, keys, prot)
+}
+
+// MetadataStorage reports the Table II storage footprint for a
+// protected region: counter bytes, MAC bytes, and tree bytes.
+func MetadataStorage(dataBytes uint64, counterMode bool) (counter, mac, tree uint64, err error) {
+	kind := geometry.MT
+	if counterMode {
+		kind = geometry.BMT
+	}
+	lay, err := geometry.NewLayout(dataBytes, kind)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s := lay.Storage()
+	return s.CounterBytes, s.MACBytes, s.TreeBytes, nil
+}
+
+// --- Timing simulation ---
+
+// Config is the full machine configuration (Table I + Table III).
+type Config = sim.Config
+
+// SecureConfig is the per-partition secure-engine configuration.
+type SecureConfig = sim.SecureConfig
+
+// Result is the outcome of one simulation run.
+type Result = sim.Result
+
+// Encryption kinds for SecureConfig.Encryption.
+const (
+	EncNone    = sim.EncNone
+	EncCounter = sim.EncCounter
+	EncDirect  = sim.EncDirect
+)
+
+// BaselineConfig returns the paper's Table I GPU with secure memory
+// disabled.
+func BaselineConfig() Config { return sim.Baseline() }
+
+// SecureMemConfig returns the Table I GPU with counter-mode + MAC +
+// BMT secure memory (the paper's secureMem design with 64 MSHRs per
+// metadata cache).
+func SecureMemConfig() Config { return sim.SecureMem() }
+
+// DirectMemConfig returns the Table I GPU with direct encryption at
+// the given AES latency and integrity level.
+func DirectMemConfig(aesLatency int, mac, tree bool) Config {
+	return sim.DirectMem(aesLatency, mac, tree)
+}
+
+// Simulate runs one benchmark on one configuration.
+func Simulate(cfg Config, benchmark string) (*Result, error) {
+	return sim.Run(cfg, benchmark)
+}
+
+// Benchmarks lists the Table IV workloads in paper order.
+func Benchmarks() []string { return trace.Names() }

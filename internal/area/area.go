@@ -1,0 +1,112 @@
+// Package area reproduces the paper's die-area analysis (Section V-F,
+// Tables VI and VII): published AES-engine areas, technology-node
+// scaling to the GPU's 12 nm process, CACTI-derived cache areas, and
+// the resulting L2-capacity reduction needed to fit the secure-memory
+// hardware on the die.
+package area
+
+// AESDesign is one published AES implementation (Table VI).
+type AESDesign struct {
+	Source string
+	TechNm float64
+	// AreaMM2 is the die area in mm^2 at the design's own node.
+	AreaMM2 float64
+}
+
+// PublishedAES returns the Table VI data points.
+func PublishedAES() []AESDesign {
+	return []AESDesign{
+		{Source: "JSSC'11", TechNm: 45, AreaMM2: 0.15},
+		{Source: "JSSC'19", TechNm: 130, AreaMM2: 13241e-6},
+		{Source: "JSSC'20", TechNm: 14, AreaMM2: 4900e-6},
+	}
+}
+
+// Scale shrinks an area from one technology node to another assuming
+// ideal quadratic scaling with feature size — the same first-order
+// model the paper applies.
+func Scale(areaMM2, fromNm, toNm float64) float64 {
+	r := toNm / fromNm
+	return areaMM2 * r * r
+}
+
+// CacheArea is a CACTI v6.5 area estimate at 32 nm (the tool's node),
+// as used in Table VII.
+type CacheArea struct {
+	SizeKB  int
+	AreaMM2 float64 // at 32 nm
+}
+
+// CACTIAreas returns the paper's CACTI data points.
+func CACTIAreas() []CacheArea {
+	return []CacheArea{
+		{SizeKB: 64, AreaMM2: 0.125821},
+		{SizeKB: 96, AreaMM2: 0.128101},
+	}
+}
+
+// Model holds the scaled Table VII quantities and the L2-reduction
+// arithmetic.
+type Model struct {
+	TargetNm float64
+	// AESEngineMM2 is one engine at the target node (paper: 0.0036).
+	AESEngineMM2 float64
+	// Cache64KBMM2 / Cache96KBMM2 at the target node (paper: 0.01769
+	// and 0.01801).
+	Cache64KBMM2 float64
+	Cache96KBMM2 float64
+}
+
+// NewModel builds the model at the paper's 12 nm target node from the
+// published data points.
+func NewModel() Model {
+	return Model{
+		TargetNm:     12,
+		AESEngineMM2: Scale(4900e-6, 14, 12),
+		Cache64KBMM2: Scale(0.125821, 32, 12),
+		Cache96KBMM2: Scale(0.128101, 32, 12),
+	}
+}
+
+// L2EquivalentKB converts an area to the L2 capacity with the same
+// footprint, via the 96 KB L2-bank data point.
+func (m Model) L2EquivalentKB(areaMM2 float64) float64 {
+	return areaMM2 / m.Cache96KBMM2 * 96
+}
+
+// Budget is the paper's bottom line: how much L2 must shrink to house
+// the secure-memory hardware.
+type Budget struct {
+	AESEngines   int
+	MACUnits     int
+	MetaCaches   int // number of per-type caches (3), each 64 KB aggregate
+	AESAreaMM2   float64
+	MACAreaMM2   float64
+	CachesMM2    float64
+	TotalMM2     float64
+	L2ReducedKB  float64
+	L2TotalKB    float64
+	L2ReducedPct float64
+}
+
+// SecureMemoryBudget computes the Table VII / Section V-F numbers for
+// the given engine count per partition (the paper evaluates 32 and 64
+// total, i.e. 1 or 2 per partition; MAC units are assumed
+// area-equivalent to AES engines).
+func (m Model) SecureMemoryBudget(enginesPerPartition, partitions int) Budget {
+	b := Budget{
+		AESEngines: enginesPerPartition * partitions,
+		MACUnits:   enginesPerPartition * partitions,
+		MetaCaches: 3,
+	}
+	b.AESAreaMM2 = float64(b.AESEngines) * m.AESEngineMM2
+	b.MACAreaMM2 = float64(b.MACUnits) * m.AESEngineMM2
+	// Each metadata cache type aggregates to 64 KB across partitions
+	// (2 KB x 32), the granularity CACTI can model.
+	b.CachesMM2 = float64(b.MetaCaches) * m.Cache64KBMM2
+	b.TotalMM2 = b.AESAreaMM2 + b.MACAreaMM2 + b.CachesMM2
+	b.L2ReducedKB = m.L2EquivalentKB(b.AESAreaMM2) + m.L2EquivalentKB(b.MACAreaMM2) + m.L2EquivalentKB(b.CachesMM2)
+	b.L2TotalKB = 6 * 1024
+	b.L2ReducedPct = 100 * b.L2ReducedKB / b.L2TotalKB
+	return b
+}

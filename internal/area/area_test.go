@@ -1,0 +1,73 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestScaleQuadratic(t *testing.T) {
+	approx(t, "half node", Scale(4.0, 28, 14), 1.0, 1e-9)
+	approx(t, "identity", Scale(3.3, 12, 12), 3.3, 1e-9)
+}
+
+// TestTableVII pins the paper's scaled numbers: AES 0.0036 mm^2,
+// 64KB cache 0.01769 mm^2, 96KB cache 0.01801 mm^2 at 12 nm.
+func TestTableVII(t *testing.T) {
+	m := NewModel()
+	approx(t, "AES engine", m.AESEngineMM2, 0.0036, 0.0002)
+	approx(t, "64KB cache", m.Cache64KBMM2, 0.01769, 0.0002)
+	approx(t, "96KB cache", m.Cache96KBMM2, 0.01801, 0.0002)
+}
+
+// TestSectionVFBudget pins the L2-reduction arithmetic: 32 AES engines
+// cost 614 KB of L2-equivalent area, metadata caches 283 KB, and the
+// full 32-engine budget (AES + MAC + caches) about 1511-1526 KB
+// (~25% of the 6 MB L2).
+func TestSectionVFBudget(t *testing.T) {
+	m := NewModel()
+	aes32 := 32 * m.AESEngineMM2
+	approx(t, "32 engines in L2-KB", m.L2EquivalentKB(aes32), 614, 10)
+	caches := 3 * m.Cache64KBMM2
+	approx(t, "meta caches in L2-KB", m.L2EquivalentKB(caches), 283, 10)
+
+	b := m.SecureMemoryBudget(1, 32)
+	if b.AESEngines != 32 || b.MACUnits != 32 {
+		t.Fatalf("budget engines: %+v", b)
+	}
+	approx(t, "L2 reduction KB", b.L2ReducedKB, 1520, 25)
+	approx(t, "L2 reduction pct", b.L2ReducedPct, 24.84, 0.8)
+}
+
+func TestBudgetScalesWithEngines(t *testing.T) {
+	m := NewModel()
+	b1 := m.SecureMemoryBudget(1, 32)
+	b2 := m.SecureMemoryBudget(2, 32)
+	if b2.AESAreaMM2 <= b1.AESAreaMM2 {
+		t.Fatal("2 engines not larger than 1")
+	}
+	approx(t, "AES area doubles", b2.AESAreaMM2, 2*b1.AESAreaMM2, 1e-9)
+	if b2.L2ReducedKB <= b1.L2ReducedKB {
+		t.Fatal("L2 reduction should grow with engines")
+	}
+}
+
+func TestPublishedTables(t *testing.T) {
+	if len(PublishedAES()) != 3 {
+		t.Fatal("Table VI should have 3 designs")
+	}
+	if len(CACTIAreas()) != 2 {
+		t.Fatal("Table VII should have 2 cache points")
+	}
+	for _, d := range PublishedAES() {
+		if d.AreaMM2 <= 0 || d.TechNm <= 0 {
+			t.Fatalf("bad design %+v", d)
+		}
+	}
+}

@@ -1,0 +1,602 @@
+// Package cache models the set-associative caches of the simulator:
+// the sectored GPU L1/L2 caches and the (non-sectored) metadata
+// caches, together with their MSHRs (miss-status handling registers).
+//
+// The model is timing-oriented: it tracks tags, per-sector valid/dirty
+// state, LRU, and in-flight fills, but carries no data (the functional
+// data path lives in internal/secmem). Callers drive it with Access
+// and Fill and move the resulting fetch/writeback traffic through the
+// DRAM model themselves.
+//
+// The MSHR semantics follow the paper's Section V-B: a miss to a unit
+// (sector or line) that is already in flight is a *secondary miss*.
+// With an available MSHR entry the request merges and generates no
+// memory traffic; with MSHRs disabled, full, or the entry's merge
+// capacity exhausted, the request bypasses and issues a redundant
+// fetch — exactly the traffic MSHRs exist to filter.
+package cache
+
+import "fmt"
+
+// SectorsPerLine is the fixed sector count of sectored caches (128 B
+// line, 32 B sectors).
+const SectorsPerLine = 4
+
+// Config describes one cache instance.
+type Config struct {
+	// Name labels the cache in stats output ("L2", "ctr$", ...).
+	Name string
+	// SizeBytes is the capacity. Must be a multiple of LineSize*Assoc
+	// unless Unlimited or Perfect.
+	SizeBytes int
+	// LineSize is the line size in bytes (128 everywhere in the paper).
+	LineSize int
+	// Assoc is the set associativity.
+	Assoc int
+	// Sectored enables per-sector valid/dirty bits and sector-unit
+	// fills (GPU L1/L2). Non-sectored caches fill whole lines
+	// (metadata caches).
+	Sectored bool
+	// NumMSHRs is the number of MSHR entries; 0 disables MSHRs (every
+	// secondary miss bypasses and refetches).
+	NumMSHRs int
+	// MergeCap bounds how many requests one MSHR entry can merge
+	// (512/64/64 for counter/MAC/tree caches per the paper). 0 means
+	// unlimited.
+	MergeCap int
+	// AllocOnFill installs lines at fill time (the paper's metadata
+	// cache policy); the alternative (allocate-on-miss) reserves the
+	// way at miss time, evicting earlier. Timing-wise the difference
+	// is when the victim writeback happens; we model both for the
+	// ablation bench.
+	AllocOnFill bool
+	// Perfect makes every access hit (the perf_mdc idealization).
+	Perfect bool
+	// Unlimited gives infinite capacity: only cold misses, no
+	// evictions (the large_mdc idealization).
+	Unlimited bool
+	// Policy selects the replacement policy (PolicyLRU default; see
+	// policy.go for the RRIP family used by the smart-unified-cache
+	// extension).
+	Policy Policy
+}
+
+// Outcome classifies an access.
+type Outcome int
+
+const (
+	// Hit: the unit is present.
+	Hit Outcome = iota
+	// MissPrimary: first miss to the unit; the caller must fetch it.
+	MissPrimary
+	// MissMerged: secondary miss merged into an MSHR; no fetch.
+	MissMerged
+	// MissBypass: secondary miss that could not merge (no MSHR
+	// available or merge capacity exhausted); the caller must issue a
+	// redundant fetch.
+	MissBypass
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case MissPrimary:
+		return "miss-primary"
+	case MissMerged:
+		return "miss-merged"
+	case MissBypass:
+		return "miss-bypass"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// AccessResult is what the caller gets back from Access.
+type AccessResult struct {
+	Outcome Outcome
+	// NeedFetch tells the caller to issue a memory fetch for the unit
+	// (true for MissPrimary and MissBypass).
+	NeedFetch bool
+	// FetchBytes is the size of that fetch (sector or full line).
+	FetchBytes int
+	// Writeback is non-nil when an allocate-on-miss reservation
+	// evicted a dirty victim at access time.
+	Writeback *Eviction
+	// Bypass is true when the fetch (if any) is untracked by an MSHR;
+	// its completing Fill must pass bypass=true.
+	Bypass bool
+}
+
+// Eviction describes a victim that must be written back.
+type Eviction struct {
+	LineAddr   uint64
+	DirtyBytes int
+}
+
+// FillResult is what the caller gets back from Fill.
+type FillResult struct {
+	// Tokens are the merged request tokens completed by this fill
+	// (including the primary's token).
+	Tokens []uint64
+	// Writeback is non-nil if installing the line evicted a dirty
+	// victim.
+	Writeback *Eviction
+}
+
+// Stats accumulates per-cache counters.
+type Stats struct {
+	Accesses        uint64
+	Hits            uint64
+	MissesPrimary   uint64
+	MissesSecondary uint64 // merged + bypass
+	MissesBypass    uint64
+	Fills           uint64
+	Evictions       uint64
+	Writebacks      uint64
+}
+
+// Misses is the total miss count.
+func (s Stats) Misses() uint64 { return s.MissesPrimary + s.MissesSecondary }
+
+// MissRate is misses / accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Accesses)
+}
+
+// SecondaryRatio is the fraction of misses that were secondary — the
+// paper's Figure 5 metric.
+func (s Stats) SecondaryRatio() float64 {
+	m := s.Misses()
+	if m == 0 {
+		return 0
+	}
+	return float64(s.MissesSecondary) / float64(m)
+}
+
+type way struct {
+	valid       bool
+	tag         uint64
+	lastUse     uint64
+	rrpv        uint8
+	sectorValid [SectorsPerLine]bool
+	sectorDirty [SectorsPerLine]bool
+}
+
+type mshrEntry struct {
+	lineAddr uint64
+	// sectorPending marks sectors in flight (index 0 used for
+	// non-sectored caches).
+	sectorPending [SectorsPerLine]bool
+	// sectorWrite marks sectors whose fill must install dirty.
+	sectorWrite [SectorsPerLine]bool
+	tokens      [SectorsPerLine][]uint64
+	merged      int
+}
+
+// Cache is one cache instance. Not safe for concurrent use; the
+// simulator is single-threaded per partition.
+type Cache struct {
+	cfg      Config
+	sets     []([]way)
+	numSets  int
+	seq      uint64
+	mshrs    map[uint64]*mshrEntry
+	mshrFree int
+	// unlimited directory for Unlimited mode.
+	dir map[uint64]*way
+	// pendingBypass tracks units in flight without an MSHR so
+	// secondary misses are classified even with MSHRs disabled.
+	pendingBypass map[uint64]int
+	// psel is the DIP set-dueling policy selector; brripTick drives
+	// the bimodal insertion epsilon.
+	psel      int
+	brripTick uint64
+	Stats     Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	if cfg.LineSize <= 0 {
+		panic("cache: LineSize must be positive")
+	}
+	c := &Cache{
+		cfg:           cfg,
+		mshrs:         make(map[uint64]*mshrEntry),
+		mshrFree:      cfg.NumMSHRs,
+		pendingBypass: make(map[uint64]int),
+	}
+	if cfg.Unlimited || cfg.Perfect {
+		c.dir = make(map[uint64]*way)
+		return c
+	}
+	if cfg.Assoc <= 0 {
+		panic("cache: Assoc must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineSize
+	if lines <= 0 || cfg.SizeBytes%cfg.LineSize != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not a positive multiple of line size %d", cfg.Name, cfg.SizeBytes, cfg.LineSize))
+	}
+	numSets := lines / cfg.Assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	// Round sets down to a power of two for cheap indexing; fold the
+	// remainder into associativity so capacity is preserved.
+	p2 := 1
+	for p2*2 <= numSets {
+		p2 *= 2
+	}
+	numSets = p2
+	assoc := lines / numSets
+	c.numSets = numSets
+	c.sets = make([][]way, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]way, assoc)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineSize) * uint64(c.cfg.LineSize)
+}
+
+func (c *Cache) sectorOf(addr uint64) int {
+	if !c.cfg.Sectored {
+		return 0
+	}
+	return int(addr % uint64(c.cfg.LineSize) / (uint64(c.cfg.LineSize) / SectorsPerLine))
+}
+
+// unitKey identifies a fetch unit (line for non-sectored, line+sector
+// for sectored caches).
+func (c *Cache) unitKey(lineAddr uint64, sector int) uint64 {
+	return lineAddr | uint64(sector)
+}
+
+func (c *Cache) fetchBytes() int {
+	if c.cfg.Sectored {
+		return c.cfg.LineSize / SectorsPerLine
+	}
+	return c.cfg.LineSize
+}
+
+func (c *Cache) setIdxFor(lineAddr uint64) int {
+	return int((lineAddr / uint64(c.cfg.LineSize)) & uint64(c.numSets-1))
+}
+
+func (c *Cache) setFor(lineAddr uint64) []way {
+	return c.sets[c.setIdxFor(lineAddr)]
+}
+
+func (c *Cache) findWay(lineAddr uint64) *way {
+	if c.dir != nil {
+		return c.dir[lineAddr]
+	}
+	set := c.setFor(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access performs a lookup for addr. write marks the target sector
+// dirty (on hit immediately, on fill otherwise). token identifies the
+// request; it is returned from the completing Fill for MissPrimary and
+// MissMerged outcomes (bypass fetches complete with the token the
+// caller attached to the fetch itself).
+func (c *Cache) Access(addr uint64, write bool, token uint64) AccessResult {
+	c.Stats.Accesses++
+	if c.cfg.Perfect {
+		c.Stats.Hits++
+		return AccessResult{Outcome: Hit}
+	}
+	c.seq++
+	lineAddr := c.lineAddr(addr)
+	sector := c.sectorOf(addr)
+
+	linePresent := false
+	if w := c.findWay(lineAddr); w != nil {
+		linePresent = true
+		if w.sectorValid[sector] {
+			c.touchHit(w)
+			if write {
+				w.sectorDirty[sector] = true
+			}
+			c.Stats.Hits++
+			return AccessResult{Outcome: Hit}
+		}
+	}
+	if c.dir == nil {
+		c.duelMiss(c.setIdxFor(lineAddr))
+	}
+
+	// Miss. Classify primary vs secondary by in-flight state.
+	if e, ok := c.mshrs[lineAddr]; ok {
+		if e.sectorPending[sector] {
+			// Secondary miss: merge if capacity allows.
+			if c.cfg.Unlimited || c.cfg.MergeCap == 0 || e.merged < c.cfg.MergeCap {
+				e.merged++
+				e.tokens[sector] = append(e.tokens[sector], token)
+				if write {
+					e.sectorWrite[sector] = true
+				}
+				c.Stats.MissesSecondary++
+				return AccessResult{Outcome: MissMerged}
+			}
+			c.Stats.MissesSecondary++
+			c.Stats.MissesBypass++
+			c.noteBypass(lineAddr, sector)
+			return AccessResult{Outcome: MissBypass, NeedFetch: true, FetchBytes: c.fetchBytes(), Bypass: true}
+		}
+		// Same line, new sector: track it in the same entry; it needs
+		// its own fetch (a sector is the fetch unit).
+		e.sectorPending[sector] = true
+		e.tokens[sector] = append(e.tokens[sector], token)
+		if write {
+			e.sectorWrite[sector] = true
+		}
+		c.Stats.MissesPrimary++
+		return AccessResult{Outcome: MissPrimary, NeedFetch: true, FetchBytes: c.fetchBytes()}
+	}
+
+	if c.pendingBypass[c.unitKey(lineAddr, sector)] > 0 {
+		// In flight without an MSHR entry: a secondary miss that must
+		// refetch.
+		c.Stats.MissesSecondary++
+		c.Stats.MissesBypass++
+		c.noteBypass(lineAddr, sector)
+		return AccessResult{Outcome: MissBypass, NeedFetch: true, FetchBytes: c.fetchBytes(), Bypass: true}
+	}
+
+	// Primary miss to an idle unit.
+	c.Stats.MissesPrimary++
+	var reserveWB *Eviction
+	if !c.cfg.AllocOnFill && !c.cfg.Unlimited && !linePresent {
+		reserveWB = c.reserve(lineAddr)
+	}
+	if c.cfg.Unlimited {
+		// The large_mdc idealization has "only cold misses": entries
+		// and merge capacity are unbounded, so no redundant fetch is
+		// ever issued.
+		e := &mshrEntry{lineAddr: lineAddr}
+		e.sectorPending[sector] = true
+		e.tokens[sector] = append(e.tokens[sector], token)
+		if write {
+			e.sectorWrite[sector] = true
+		}
+		c.mshrs[lineAddr] = e
+		return AccessResult{Outcome: MissPrimary, NeedFetch: true, FetchBytes: c.fetchBytes()}
+	}
+	if c.mshrFree > 0 {
+		e := &mshrEntry{lineAddr: lineAddr}
+		e.sectorPending[sector] = true
+		e.tokens[sector] = append(e.tokens[sector], token)
+		if write {
+			e.sectorWrite[sector] = true
+		}
+		c.mshrs[lineAddr] = e
+		c.mshrFree--
+		return AccessResult{Outcome: MissPrimary, NeedFetch: true, FetchBytes: c.fetchBytes(), Writeback: reserveWB}
+	}
+	c.noteBypass(lineAddr, sector)
+	return AccessResult{Outcome: MissPrimary, NeedFetch: true, FetchBytes: c.fetchBytes(), Writeback: reserveWB, Bypass: true}
+}
+
+// reserve implements allocate-on-miss: the victim way is claimed (and
+// written back if dirty) at miss time, with no sector valid yet.
+func (c *Cache) reserve(lineAddr uint64) *Eviction {
+	setIdx := c.setIdxFor(lineAddr)
+	set := c.sets[setIdx]
+	victim := c.pickVictim(set)
+	var ev *Eviction
+	w := &set[victim]
+	if w.valid {
+		c.Stats.Evictions++
+		if db := c.dirtyBytes(w); db > 0 {
+			c.Stats.Writebacks++
+			ev = &Eviction{LineAddr: w.tag, DirtyBytes: db}
+		}
+	}
+	*w = way{valid: true, tag: lineAddr}
+	c.insertState(w, setIdx)
+	return ev
+}
+
+func (c *Cache) noteBypass(lineAddr uint64, sector int) {
+	c.pendingBypass[c.unitKey(lineAddr, sector)]++
+}
+
+// dirtyBytes computes the writeback size of a victim way.
+func (c *Cache) dirtyBytes(w *way) int {
+	if !c.cfg.Sectored {
+		if w.sectorDirty[0] {
+			return c.cfg.LineSize
+		}
+		return 0
+	}
+	n := 0
+	for s := 0; s < SectorsPerLine; s++ {
+		if w.sectorDirty[s] {
+			n += c.cfg.LineSize / SectorsPerLine
+		}
+	}
+	return n
+}
+
+// install places (lineAddr, sector) into the cache, evicting as
+// needed, and returns any dirty victim.
+func (c *Cache) install(lineAddr uint64, sector int, write bool) *Eviction {
+	if c.dir != nil { // unlimited
+		w := c.dir[lineAddr]
+		if w == nil {
+			w = &way{valid: true, tag: lineAddr}
+			c.dir[lineAddr] = w
+		}
+		w.lastUse = c.seq
+		w.sectorValid[sector] = true
+		if write {
+			w.sectorDirty[sector] = true
+		}
+		return nil
+	}
+	setIdx := c.setIdxFor(lineAddr)
+	set := c.sets[setIdx]
+	// Already present (another sector filled it, or a bypass raced)?
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lastUse = c.seq
+			set[i].sectorValid[sector] = true
+			if write {
+				set[i].sectorDirty[sector] = true
+			}
+			return nil
+		}
+	}
+	victim := c.pickVictim(set)
+	var ev *Eviction
+	w := &set[victim]
+	if w.valid {
+		c.Stats.Evictions++
+		if db := c.dirtyBytes(w); db > 0 {
+			c.Stats.Writebacks++
+			ev = &Eviction{LineAddr: w.tag, DirtyBytes: db}
+		}
+	}
+	*w = way{valid: true, tag: lineAddr}
+	c.insertState(w, setIdx)
+	w.sectorValid[sector] = true
+	if write {
+		w.sectorDirty[sector] = true
+	}
+	return ev
+}
+
+// Fill delivers the memory response for the unit containing addr.
+// bypass must be true when the fetch was issued for a MissBypass (or
+// MSHR-less primary miss); its completing token travels with the fetch
+// and is not returned here.
+func (c *Cache) Fill(addr uint64, bypass bool, write bool) FillResult {
+	c.Stats.Fills++
+	c.seq++
+	lineAddr := c.lineAddr(addr)
+	sector := c.sectorOf(addr)
+	var res FillResult
+
+	if bypass {
+		key := c.unitKey(lineAddr, sector)
+		if c.pendingBypass[key] > 0 {
+			c.pendingBypass[key]--
+			if c.pendingBypass[key] == 0 {
+				delete(c.pendingBypass, key)
+			}
+		}
+		if ev := c.install(lineAddr, sector, write); ev != nil {
+			res.Writeback = ev
+		}
+		return res
+	}
+
+	e, ok := c.mshrs[lineAddr]
+	if !ok || !e.sectorPending[sector] {
+		// A fill with no waiting entry (e.g. MSHR-less primary):
+		// install and return.
+		if ev := c.install(lineAddr, sector, write); ev != nil {
+			res.Writeback = ev
+		}
+		return res
+	}
+	res.Tokens = e.tokens[sector]
+	wr := write || e.sectorWrite[sector]
+	e.tokens[sector] = nil
+	e.sectorPending[sector] = false
+	e.sectorWrite[sector] = false
+	if ev := c.install(lineAddr, sector, wr); ev != nil {
+		res.Writeback = ev
+	}
+	// Retire the entry when no sector remains pending.
+	done := true
+	for s := 0; s < SectorsPerLine; s++ {
+		if e.sectorPending[s] {
+			done = false
+			break
+		}
+	}
+	if done {
+		delete(c.mshrs, lineAddr)
+		if !c.cfg.Unlimited {
+			c.mshrFree++
+		}
+	}
+	return res
+}
+
+// WriteValidate services a full-sector store without fetching: if the
+// sector is present it is marked dirty (a write hit); otherwise the
+// line is installed with just this sector valid and dirty. GPUs use
+// this write-no-fetch policy for coalesced global stores, which is why
+// store misses generate no read traffic. Returns the dirty victim, if
+// any, and whether the store hit.
+func (c *Cache) WriteValidate(addr uint64) (*Eviction, bool) {
+	c.Stats.Accesses++
+	if c.cfg.Perfect {
+		c.Stats.Hits++
+		return nil, true
+	}
+	c.seq++
+	lineAddr := c.lineAddr(addr)
+	sector := c.sectorOf(addr)
+	if w := c.findWay(lineAddr); w != nil && w.sectorValid[sector] {
+		c.touchHit(w)
+		w.sectorDirty[sector] = true
+		c.Stats.Hits++
+		return nil, true
+	}
+	c.Stats.MissesPrimary++
+	return c.install(lineAddr, sector, true), false
+}
+
+// MarkDirty marks the sector containing addr dirty if present (used
+// for metadata updates that modify an already-resident line outside a
+// normal Access, e.g. lazy tree updates).
+func (c *Cache) MarkDirty(addr uint64) bool {
+	lineAddr := c.lineAddr(addr)
+	if w := c.findWay(lineAddr); w != nil {
+		s := c.sectorOf(addr)
+		if w.sectorValid[s] {
+			w.sectorDirty[s] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Present reports whether the unit containing addr is resident.
+func (c *Cache) Present(addr uint64) bool {
+	if c.cfg.Perfect {
+		return true
+	}
+	w := c.findWay(c.lineAddr(addr))
+	if w == nil {
+		return false
+	}
+	return w.sectorValid[c.sectorOf(addr)]
+}
+
+// InFlight reports whether the unit containing addr has a pending fill
+// (via MSHR or bypass tracking).
+func (c *Cache) InFlight(addr uint64) bool {
+	lineAddr := c.lineAddr(addr)
+	sector := c.sectorOf(addr)
+	if e, ok := c.mshrs[lineAddr]; ok && e.sectorPending[sector] {
+		return true
+	}
+	return c.pendingBypass[c.unitKey(lineAddr, sector)] > 0
+}

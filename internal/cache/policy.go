@@ -1,0 +1,175 @@
+package cache
+
+// Replacement policies. The paper's Section V-D observes that GPU
+// streaming thrashes a unified metadata cache under LRU and suggests
+// "smart replacement policies" as the alternative to separate caches —
+// while cautioning that CPU thrash-resistant policies cannot be
+// adopted blindly because each metadata line is re-referenced many
+// times right after the fill (one MAC line covers 16 data blocks).
+//
+// We implement the classic RRIP family so that suggestion can be
+// evaluated (the ext-smartunified experiment):
+//
+//   - PolicyLRU: classic least-recently-used (the default).
+//   - PolicySRRIP: static RRIP — insert with a "long" re-reference
+//     prediction, promote to "near" on hit, evict the most "distant".
+//   - PolicyBRRIP: bimodal RRIP — like SRRIP but most insertions are
+//     predicted "distant", protecting the cache from streams.
+//   - PolicyDIP: set-dueling between SRRIP and BRRIP with a policy
+//     selector counter, following DIP/DRRIP.
+type Policy int
+
+// Replacement policy identifiers.
+const (
+	PolicyLRU Policy = iota
+	PolicySRRIP
+	PolicyBRRIP
+	PolicyDIP
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicySRRIP:
+		return "srrip"
+	case PolicyBRRIP:
+		return "brrip"
+	case PolicyDIP:
+		return "dip"
+	}
+	return "policy?"
+}
+
+// RRIP constants: 2-bit re-reference prediction values.
+const (
+	rrpvBits = 2
+	rrpvMax  = 1<<rrpvBits - 1 // 3 = distant
+	rrpvLong = rrpvMax - 1     // 2 = long (SRRIP insertion)
+	rrpvNear = 0
+	// brripEpsilon: 1-in-N BRRIP insertions use the long prediction
+	// instead of distant.
+	brripEpsilon = 32
+	// duelingStride: every duelingStride-th set leads SRRIP, and the
+	// following set leads BRRIP (DIP set dueling).
+	duelingStride = 16
+	// pselMax bounds the policy selector counter.
+	pselMax = 1023
+)
+
+// setRole classifies a set for DIP dueling.
+type setRole int
+
+const (
+	roleFollower setRole = iota
+	roleSRRIP
+	roleBRRIP
+)
+
+func (c *Cache) roleOf(setIdx int) setRole {
+	if c.cfg.Policy != PolicyDIP {
+		return roleFollower
+	}
+	switch setIdx % duelingStride {
+	case 0:
+		return roleSRRIP
+	case duelingStride / 2:
+		return roleBRRIP
+	}
+	return roleFollower
+}
+
+// policyFor resolves the effective insertion policy for a set under
+// DIP (followers obey the PSEL counter; leaders are fixed).
+func (c *Cache) policyFor(setIdx int) Policy {
+	switch c.cfg.Policy {
+	case PolicyDIP:
+		switch c.roleOf(setIdx) {
+		case roleSRRIP:
+			return PolicySRRIP
+		case roleBRRIP:
+			return PolicyBRRIP
+		default:
+			if c.psel <= pselMax/2 {
+				return PolicySRRIP
+			}
+			return PolicyBRRIP
+		}
+	default:
+		return c.cfg.Policy
+	}
+}
+
+// duelMiss updates the PSEL counter on a leader-set miss: misses in
+// SRRIP leader sets push toward BRRIP and vice versa.
+func (c *Cache) duelMiss(setIdx int) {
+	if c.cfg.Policy != PolicyDIP {
+		return
+	}
+	switch c.roleOf(setIdx) {
+	case roleSRRIP:
+		if c.psel < pselMax {
+			c.psel++
+		}
+	case roleBRRIP:
+		if c.psel > 0 {
+			c.psel--
+		}
+	}
+}
+
+// touchHit updates replacement state on a hit.
+func (c *Cache) touchHit(w *way) {
+	w.lastUse = c.seq
+	if c.cfg.Policy != PolicyLRU {
+		w.rrpv = rrpvNear
+	}
+}
+
+// insertState initializes replacement state of a newly installed line.
+func (c *Cache) insertState(w *way, setIdx int) {
+	w.lastUse = c.seq
+	switch c.policyFor(setIdx) {
+	case PolicySRRIP:
+		w.rrpv = rrpvLong
+	case PolicyBRRIP:
+		c.brripTick++
+		if c.brripTick%brripEpsilon == 0 {
+			w.rrpv = rrpvLong
+		} else {
+			w.rrpv = rrpvMax
+		}
+	default:
+		w.rrpv = rrpvLong
+	}
+}
+
+// pickVictim selects the way to evict from a set.
+func (c *Cache) pickVictim(set []way) int {
+	// Invalid ways first, under any policy.
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.Policy == PolicyLRU {
+		victim := 0
+		for i := range set {
+			if set[i].lastUse < set[victim].lastUse {
+				victim = i
+			}
+		}
+		return victim
+	}
+	// RRIP: find an rrpvMax way, aging everyone until one appears.
+	for {
+		for i := range set {
+			if set[i].rrpv >= rrpvMax {
+				return i
+			}
+		}
+		for i := range set {
+			set[i].rrpv++
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package dram models the timing of one GPU memory partition's DRAM
+// channel: banked with row buffers, FR-FCFS-style scheduling, and a
+// data bus whose bandwidth matches the paper's baseline (868 GB/s
+// aggregate over 32 partitions, i.e. 24 bytes per core cycle per
+// partition with the 850 MHz memory / 1132 MHz core clock ratio).
+//
+// Time is kept in thirds of a core cycle so the 4/3-cycle cost of a
+// 32-byte beat is exact integer arithmetic.
+package dram
+
+import "container/heap"
+
+// Config holds the timing parameters of one partition's channel.
+type Config struct {
+	// Banks is the number of DRAM banks.
+	Banks int
+	// RowHitCycles / RowMissCycles are access latencies in core
+	// cycles (CAS only vs precharge+activate+CAS).
+	RowHitCycles  int
+	RowMissCycles int
+	// BeatBytes is the data-bus transfer granularity (32).
+	BeatBytes int
+	// BeatThirds is the bus occupancy of one beat in thirds of a core
+	// cycle (4 -> 24 B/cycle -> 868 GB/s aggregate).
+	BeatThirds int
+	// MaxIssuePerCycle bounds scheduler issues per cycle.
+	MaxIssuePerCycle int
+}
+
+// DefaultConfig returns the paper's baseline channel timing.
+func DefaultConfig() Config {
+	return Config{
+		Banks:            16,
+		RowHitCycles:     20,
+		RowMissCycles:    50,
+		BeatBytes:        32,
+		BeatThirds:       4,
+		MaxIssuePerCycle: 4,
+	}
+}
+
+// Request is one DRAM transaction.
+type Request struct {
+	Addr  uint64
+	Bytes int
+	Write bool
+	// Token identifies the request to the caller on completion; 0
+	// means fire-and-forget (posted writes).
+	Token uint64
+	// Kind is an opaque traffic class used for per-type accounting
+	// (data/counter/MAC/tree/writeback).
+	Kind int
+}
+
+// Stats accumulates channel counters.
+type Stats struct {
+	Reads, Writes         uint64
+	BytesRead, BytesWrite uint64
+	RowHits, RowMisses    uint64
+	// RequestsByKind / BytesByKind index by Request.Kind (bounded by
+	// the caller's kind space; grown on demand).
+	RequestsByKind []uint64
+	BytesByKind    []uint64
+	// PeakQueue tracks the maximum queue occupancy observed.
+	PeakQueue int
+}
+
+func (s *Stats) addKind(kind, bytes int) {
+	for len(s.RequestsByKind) <= kind {
+		s.RequestsByKind = append(s.RequestsByKind, 0)
+		s.BytesByKind = append(s.BytesByKind, 0)
+	}
+	s.RequestsByKind[kind]++
+	s.BytesByKind[kind] += uint64(bytes)
+}
+
+type pending struct {
+	req  Request
+	dead bool // tombstone: issued and awaiting compaction
+}
+
+type completion struct {
+	at3   uint64
+	token uint64
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at3 < h[j].at3 }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DRAM is one partition's channel. Drive it with Enqueue and Tick.
+type DRAM struct {
+	cfg       Config
+	queue     []pending
+	head      int // first live entry; issued entries become tombstones
+	live      int
+	bankBusy3 []uint64
+	bankRow   []uint64
+	busFree3  uint64
+	compl     completionHeap
+	Stats     Stats
+}
+
+// New builds a channel from cfg.
+func New(cfg Config) *DRAM {
+	if cfg.Banks <= 0 || cfg.BeatBytes <= 0 || cfg.BeatThirds <= 0 {
+		panic("dram: invalid config")
+	}
+	return &DRAM{
+		cfg:       cfg,
+		bankBusy3: make([]uint64, cfg.Banks),
+		bankRow:   make([]uint64, cfg.Banks),
+	}
+}
+
+// Enqueue adds a request to the channel queue.
+func (d *DRAM) Enqueue(r Request) {
+	if r.Bytes <= 0 {
+		panic("dram: request with no bytes")
+	}
+	d.queue = append(d.queue, pending{req: r})
+	d.live++
+	if d.live > d.Stats.PeakQueue {
+		d.Stats.PeakQueue = d.live
+	}
+}
+
+// QueueLen reports current queue occupancy.
+func (d *DRAM) QueueLen() int { return d.live }
+
+// InFlight reports queued plus issued-but-incomplete requests.
+func (d *DRAM) InFlight() int { return d.live + len(d.compl) }
+
+func (d *DRAM) bankOf(addr uint64) int { return int(addr>>8) % d.cfg.Banks }
+func (d *DRAM) rowOf(addr uint64) uint64 {
+	return addr >> 12 // 4 KB row granularity
+}
+
+// issue schedules queue[i] at time now3 and removes it from the queue.
+func (d *DRAM) issue(i int, now3 uint64) {
+	p := d.queue[i]
+	r := p.req
+	bank := d.bankOf(r.Addr)
+	row := d.rowOf(r.Addr)
+	beats := (r.Bytes + d.cfg.BeatBytes - 1) / d.cfg.BeatBytes
+	xfer3 := uint64(beats * d.cfg.BeatThirds)
+	lat3 := uint64(d.cfg.RowMissCycles * 3)
+	// Row hits pipeline on an open row (CAS-to-CAS), so the bank is
+	// only occupied for the transfer; a row miss occupies the bank for
+	// the full precharge+activate window.
+	occupancy3 := xfer3
+	if d.bankRow[bank] == row+1 { // +1 so row 0 != "no open row"
+		lat3 = uint64(d.cfg.RowHitCycles * 3)
+		d.Stats.RowHits++
+	} else {
+		d.Stats.RowMisses++
+		d.bankRow[bank] = row + 1
+		occupancy3 = lat3
+	}
+	bankDone3 := now3 + lat3
+	start3 := bankDone3
+	if d.busFree3 > start3 {
+		start3 = d.busFree3
+	}
+	end3 := start3 + xfer3
+	d.busFree3 = end3
+	d.bankBusy3[bank] = now3 + occupancy3
+	if r.Write {
+		d.Stats.Writes++
+		d.Stats.BytesWrite += uint64(r.Bytes)
+	} else {
+		d.Stats.Reads++
+		d.Stats.BytesRead += uint64(r.Bytes)
+	}
+	d.Stats.addKind(r.Kind, r.Bytes)
+	if r.Token != 0 {
+		heap.Push(&d.compl, completion{at3: end3, token: r.Token})
+	}
+	d.queue[i].dead = true
+	d.live--
+	for d.head < len(d.queue) && d.queue[d.head].dead {
+		d.head++
+	}
+	// Compact once tombstones dominate (mid-queue ones accumulate when
+	// FR-FCFS issues out of order).
+	if dead := len(d.queue) - d.head - d.live; d.head+dead > 4096 && (d.head+dead)*2 > len(d.queue) {
+		out := d.queue[:0]
+		for _, p := range d.queue[d.head:] {
+			if !p.dead {
+				out = append(out, p)
+			}
+		}
+		d.queue = out
+		d.head = 0
+	}
+}
+
+// Tick advances the channel to core cycle `now` and returns the tokens
+// of requests whose data transfer completed at or before it.
+func (d *DRAM) Tick(now uint64) []uint64 {
+	now3 := now * 3
+	// Issue phase: FR-FCFS-lite. First pass prefers row hits on free
+	// banks; second pass takes the oldest request on any free bank.
+	const scanDepth = 32
+	for issued := 0; issued < d.cfg.MaxIssuePerCycle; issued++ {
+		pick := -1
+		seen := 0
+		for i := d.head; i < len(d.queue) && seen < scanDepth; i++ {
+			if d.queue[i].dead {
+				continue
+			}
+			seen++
+			bank := d.bankOf(d.queue[i].req.Addr)
+			if d.bankBusy3[bank] > now3 {
+				continue
+			}
+			if d.bankRow[bank] == d.rowOf(d.queue[i].req.Addr)+1 {
+				pick = i
+				break
+			}
+			if pick < 0 {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		d.issue(pick, now3)
+	}
+	// Completion phase.
+	var done []uint64
+	for len(d.compl) > 0 && d.compl[0].at3 <= now3 {
+		done = append(done, heap.Pop(&d.compl).(completion).token)
+	}
+	return done
+}
+
+// Drained reports whether no work remains.
+func (d *DRAM) Drained() bool { return d.live == 0 && len(d.compl) == 0 }

@@ -1,0 +1,350 @@
+// Package geometry defines the secure-memory metadata layout from the
+// paper's Table II: split counters (one 128-bit major + 128 7-bit
+// minor counters per 128 B counter line, covering 16 KB of data),
+// per-block 64-bit MACs truncated to 16 bits per 32 B sector, and the
+// 16-ary Bonsai Merkle Tree (over counter lines) or Merkle Tree (over
+// MAC lines). All address math for counters, MACs, and tree nodes
+// lives here so the functional engines and the timing simulator share
+// one source of truth.
+package geometry
+
+import "fmt"
+
+// Architectural constants fixed by the paper.
+const (
+	// LineSize is the data/metadata cache-line size in bytes.
+	LineSize = 128
+	// SectorSize is the L2 sector size in bytes (4 sectors per line).
+	SectorSize = 32
+	// SectorsPerLine is LineSize / SectorSize.
+	SectorsPerLine = LineSize / SectorSize
+	// CounterCoverage is the bytes of data covered by one counter
+	// line: 128 minor counters x 128 B lines = 16 KB.
+	CounterCoverage = 16 * 1024
+	// MinorCountersPerLine is the number of 7-bit minor counters in a
+	// counter line.
+	MinorCountersPerLine = 128
+	// MinorCounterMax is the largest representable minor counter value
+	// (7 bits). Exceeding it forces a major-counter bump and regional
+	// re-encryption.
+	MinorCounterMax = 127
+	// MACBytesPerBlock is the MAC width per 128 B data block (64-bit).
+	MACBytesPerBlock = 8
+	// MACBytesPerSector is the truncated MAC width per 32 B sector.
+	MACBytesPerSector = 2
+	// BlocksPerMACLine is how many data blocks one 128 B MAC line
+	// covers (16).
+	BlocksPerMACLine = LineSize / MACBytesPerBlock
+	// TreeArity is the fan-in of the integrity trees.
+	TreeArity = 16
+	// HashBytes is the width of one tree hash (64-bit), so a 128 B
+	// node holds TreeArity hashes.
+	HashBytes = LineSize / TreeArity
+)
+
+// TreeKind selects which integrity tree a layout describes.
+type TreeKind int
+
+const (
+	// BMT is the Bonsai Merkle Tree: leaves are counter lines
+	// (counter-mode encryption).
+	BMT TreeKind = iota
+	// MT is the full Merkle Tree: leaves are MAC lines (direct
+	// encryption).
+	MT
+)
+
+func (k TreeKind) String() string {
+	if k == BMT {
+		return "BMT"
+	}
+	return "MT"
+}
+
+// Layout captures the complete metadata geometry for a protected
+// region. All fields are derived in NewLayout and read-only afterward.
+type Layout struct {
+	// DataBytes is the protected data size (4 GB in the paper).
+	DataBytes uint64
+	// Kind selects BMT (counter mode) or MT (direct encryption).
+	Kind TreeKind
+
+	// NumDataLines is DataBytes / LineSize.
+	NumDataLines uint64
+	// NumCounterLines is DataBytes / CounterCoverage (0 for MT
+	// layouts, which have no counters).
+	NumCounterLines uint64
+	// NumMACLines is DataBytes / (BlocksPerMACLine * LineSize).
+	NumMACLines uint64
+
+	// LevelNodes[l] is the number of 128 B nodes at tree level l,
+	// where level 0 is the root and the last level is the lowest
+	// interior level (the parents of the leaves). Leaves themselves
+	// (counter lines or MAC lines) are not stored in LevelNodes.
+	LevelNodes []uint64
+	// levelStart[l] is the cumulative node index of the first node at
+	// level l, used for flat node numbering.
+	levelStart []uint64
+
+	// Region base addresses in the backing store. Data occupies
+	// [0, DataBytes); metadata regions follow contiguously.
+	CounterBase uint64
+	MACBase     uint64
+	TreeBase    uint64
+	// TotalBytes is the end of the tree region: the full backing-store
+	// footprint for data + metadata.
+	TotalBytes uint64
+}
+
+// NewLayout derives the layout for a protected region of dataBytes
+// under the given tree kind. dataBytes must be a positive multiple of
+// CounterCoverage (16 KB) so every counter line is fully populated.
+func NewLayout(dataBytes uint64, kind TreeKind) (*Layout, error) {
+	if dataBytes == 0 || dataBytes%CounterCoverage != 0 {
+		return nil, fmt.Errorf("geometry: data size %d must be a positive multiple of %d", dataBytes, CounterCoverage)
+	}
+	l := &Layout{DataBytes: dataBytes, Kind: kind}
+	l.NumDataLines = dataBytes / LineSize
+	l.NumMACLines = dataBytes / (BlocksPerMACLine * LineSize)
+	var leaves uint64
+	if kind == BMT {
+		l.NumCounterLines = dataBytes / CounterCoverage
+		leaves = l.NumCounterLines
+	} else {
+		leaves = l.NumMACLines
+	}
+
+	// Build interior levels bottom-up, then reverse so level 0 is the
+	// root. The lowest interior level has ceil(leaves/arity) nodes.
+	var bottomUp []uint64
+	n := ceilDiv(leaves, TreeArity)
+	for {
+		bottomUp = append(bottomUp, n)
+		if n == 1 {
+			break
+		}
+		n = ceilDiv(n, TreeArity)
+	}
+	l.LevelNodes = make([]uint64, len(bottomUp))
+	for i, v := range bottomUp {
+		l.LevelNodes[len(bottomUp)-1-i] = v
+	}
+	l.levelStart = make([]uint64, len(l.LevelNodes)+1)
+	for i, v := range l.LevelNodes {
+		l.levelStart[i+1] = l.levelStart[i] + v
+	}
+
+	l.CounterBase = dataBytes
+	l.MACBase = l.CounterBase + l.NumCounterLines*LineSize
+	l.TreeBase = l.MACBase + l.NumMACLines*LineSize
+	l.TotalBytes = l.TreeBase + l.TreeNodes()*LineSize
+	return l, nil
+}
+
+// MustLayout is like NewLayout but panics on error.
+func MustLayout(dataBytes uint64, kind TreeKind) *Layout {
+	l, err := NewLayout(dataBytes, kind)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+func (l *Layout) checkData(addr uint64) {
+	if addr >= l.DataBytes {
+		panic(fmt.Sprintf("geometry: data address %#x outside protected region %#x", addr, l.DataBytes))
+	}
+}
+
+// --- Counters (BMT layouts only) ---
+
+// CounterLine returns the counter-line index covering the data address.
+func (l *Layout) CounterLine(dataAddr uint64) uint64 {
+	l.checkData(dataAddr)
+	return dataAddr / CounterCoverage
+}
+
+// CounterSlot returns the minor-counter index within the counter line
+// for the 128 B data line containing dataAddr.
+func (l *Layout) CounterSlot(dataAddr uint64) int {
+	l.checkData(dataAddr)
+	return int(dataAddr % CounterCoverage / LineSize)
+}
+
+// CounterLineAddr returns the backing-store address of counter line i.
+func (l *Layout) CounterLineAddr(i uint64) uint64 {
+	if i >= l.NumCounterLines {
+		panic(fmt.Sprintf("geometry: counter line %d out of range %d", i, l.NumCounterLines))
+	}
+	return l.CounterBase + i*LineSize
+}
+
+// --- MACs ---
+
+// MACLine returns the MAC-line index covering the data address.
+func (l *Layout) MACLine(dataAddr uint64) uint64 {
+	l.checkData(dataAddr)
+	return dataAddr / (BlocksPerMACLine * LineSize)
+}
+
+// MACBlockSlot returns which of the 16 block-MAC slots within the MAC
+// line covers the data line containing dataAddr.
+func (l *Layout) MACBlockSlot(dataAddr uint64) int {
+	l.checkData(dataAddr)
+	return int(dataAddr / LineSize % BlocksPerMACLine)
+}
+
+// MACSectorAddr returns the backing-store address of the 2-byte sector
+// MAC for the 32 B sector containing dataAddr.
+func (l *Layout) MACSectorAddr(dataAddr uint64) uint64 {
+	l.checkData(dataAddr)
+	line := l.MACLine(dataAddr)
+	blockSlot := l.MACBlockSlot(dataAddr)
+	sector := int(dataAddr % LineSize / SectorSize)
+	return l.MACBase + line*LineSize + uint64(blockSlot)*MACBytesPerBlock + uint64(sector)*MACBytesPerSector
+}
+
+// MACLineAddr returns the backing-store address of MAC line i.
+func (l *Layout) MACLineAddr(i uint64) uint64 {
+	if i >= l.NumMACLines {
+		panic(fmt.Sprintf("geometry: MAC line %d out of range %d", i, l.NumMACLines))
+	}
+	return l.MACBase + i*LineSize
+}
+
+// --- Integrity tree ---
+
+// TreeLevels returns the number of stored (interior) tree levels.
+// The paper's "6-level BMT" / "7-level MT" counts the leaf level too,
+// i.e. TreeLevels()+1.
+func (l *Layout) TreeLevels() int { return len(l.LevelNodes) }
+
+// TreeNodes returns the total number of stored 128 B tree nodes.
+func (l *Layout) TreeNodes() uint64 { return l.levelStart[len(l.levelStart)-1] }
+
+// TreeBytes returns the storage consumed by the stored tree nodes.
+func (l *Layout) TreeBytes() uint64 { return l.TreeNodes() * LineSize }
+
+// NumLeaves returns the number of tree leaves (counter lines for BMT,
+// MAC lines for MT).
+func (l *Layout) NumLeaves() uint64 {
+	if l.Kind == BMT {
+		return l.NumCounterLines
+	}
+	return l.NumMACLines
+}
+
+// LeafParent returns the (level, index) of the lowest interior node
+// covering leaf i, and the child slot within that node.
+func (l *Layout) LeafParent(leaf uint64) (level int, idx uint64, slot int) {
+	if leaf >= l.NumLeaves() {
+		panic(fmt.Sprintf("geometry: leaf %d out of range %d", leaf, l.NumLeaves()))
+	}
+	return len(l.LevelNodes) - 1, leaf / TreeArity, int(leaf % TreeArity)
+}
+
+// Parent returns the (level, index) of the parent of node (level, idx),
+// and the child slot within the parent. The root (level 0) has no
+// parent; ok is false.
+func (l *Layout) Parent(level int, idx uint64) (plevel int, pidx uint64, slot int, ok bool) {
+	if level <= 0 {
+		return 0, 0, 0, false
+	}
+	return level - 1, idx / TreeArity, int(idx % TreeArity), true
+}
+
+// NodeFlatIndex returns a unique flat index for node (level, idx),
+// usable as a cache tag or hash-mix input.
+func (l *Layout) NodeFlatIndex(level int, idx uint64) uint64 {
+	if level < 0 || level >= len(l.LevelNodes) || idx >= l.LevelNodes[level] {
+		panic(fmt.Sprintf("geometry: node (%d,%d) out of range", level, idx))
+	}
+	return l.levelStart[level] + idx
+}
+
+// TreeNodeAddr returns the backing-store address of node (level, idx).
+func (l *Layout) TreeNodeAddr(level int, idx uint64) uint64 {
+	return l.TreeBase + l.NodeFlatIndex(level, idx)*LineSize
+}
+
+// NodeByAddr inverts TreeNodeAddr: it recovers (level, idx) from a
+// backing-store address inside the tree region.
+func (l *Layout) NodeByAddr(addr uint64) (level int, idx uint64) {
+	if addr < l.TreeBase || addr >= l.TotalBytes {
+		panic(fmt.Sprintf("geometry: address %#x outside tree region [%#x,%#x)", addr, l.TreeBase, l.TotalBytes))
+	}
+	flat := (addr - l.TreeBase) / LineSize
+	for lv := 0; lv < len(l.LevelNodes); lv++ {
+		if flat < l.levelStart[lv+1] {
+			return lv, flat - l.levelStart[lv]
+		}
+	}
+	panic("geometry: unreachable")
+}
+
+// Region classifies a backing-store address.
+type Region int
+
+// Region values, in address order.
+const (
+	RegionData Region = iota
+	RegionCounter
+	RegionMAC
+	RegionTree
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionData:
+		return "data"
+	case RegionCounter:
+		return "counter"
+	case RegionMAC:
+		return "mac"
+	}
+	return "tree"
+}
+
+// RegionOf classifies addr into data/counter/MAC/tree regions.
+func (l *Layout) RegionOf(addr uint64) Region {
+	switch {
+	case addr < l.DataBytes:
+		return RegionData
+	case addr < l.MACBase:
+		return RegionCounter
+	case addr < l.TreeBase:
+		return RegionMAC
+	case addr < l.TotalBytes:
+		return RegionTree
+	}
+	panic(fmt.Sprintf("geometry: address %#x outside layout", addr))
+}
+
+// --- Table II storage accounting ---
+
+// Storage summarizes metadata storage for Table II.
+type Storage struct {
+	CounterBytes uint64
+	MACBytes     uint64
+	TreeBytes    uint64
+	// TreeLevelsIncLeaves matches the paper's level count (interior
+	// levels + the leaf level).
+	TreeLevelsIncLeaves int
+}
+
+// TotalBytes is the full metadata footprint.
+func (s Storage) TotalBytes() uint64 { return s.CounterBytes + s.MACBytes + s.TreeBytes }
+
+// Storage returns the Table II numbers for this layout. For the
+// paper's 4 GB region: counters 32 MB, MACs 256 MB, BMT 2.14 MB or MT
+// 17.1 MB.
+func (l *Layout) Storage() Storage {
+	return Storage{
+		CounterBytes:        l.NumCounterLines * LineSize,
+		MACBytes:            l.NumMACLines * LineSize,
+		TreeBytes:           l.TreeBytes(),
+		TreeLevelsIncLeaves: l.TreeLevels() + 1,
+	}
+}

@@ -1,0 +1,337 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const fourGB = 4 << 30
+
+func TestTableIIBMT(t *testing.T) {
+	l := MustLayout(fourGB, BMT)
+	s := l.Storage()
+	if got, want := s.CounterBytes, uint64(32<<20); got != want {
+		t.Errorf("counter storage = %d, want %d (32MB)", got, want)
+	}
+	if got, want := s.MACBytes, uint64(256<<20); got != want {
+		t.Errorf("MAC storage = %d, want %d (256MB)", got, want)
+	}
+	// Paper: 2.14 MB for the BMT excluding counter (leaf) blocks.
+	gotMB := float64(s.TreeBytes) / (1 << 20)
+	if gotMB < 2.0 || gotMB > 2.3 {
+		t.Errorf("BMT storage = %.2f MB, want ~2.14 MB", gotMB)
+	}
+	if got, want := s.TreeLevelsIncLeaves, 6; got != want {
+		t.Errorf("BMT levels (incl. leaves) = %d, want %d", got, want)
+	}
+	// Total ~290.14 MB.
+	totMB := float64(s.TotalBytes()) / (1 << 20)
+	if totMB < 289 || totMB > 291 {
+		t.Errorf("total metadata = %.2f MB, want ~290.14 MB", totMB)
+	}
+}
+
+func TestTableIIMT(t *testing.T) {
+	l := MustLayout(fourGB, MT)
+	s := l.Storage()
+	if s.CounterBytes != 0 {
+		t.Errorf("direct encryption has no counters, got %d bytes", s.CounterBytes)
+	}
+	if got, want := s.MACBytes, uint64(256<<20); got != want {
+		t.Errorf("MAC storage = %d, want %d (256MB)", got, want)
+	}
+	gotMB := float64(s.TreeBytes) / (1 << 20)
+	if gotMB < 16.8 || gotMB > 17.3 {
+		t.Errorf("MT storage = %.2f MB, want ~17.1 MB", gotMB)
+	}
+	if got, want := s.TreeLevelsIncLeaves, 7; got != want {
+		t.Errorf("MT levels (incl. leaves) = %d, want %d", got, want)
+	}
+	totMB := float64(s.TotalBytes()) / (1 << 20)
+	if totMB < 272 || totMB > 274 {
+		t.Errorf("total metadata = %.2f MB, want ~273.1 MB", totMB)
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(0, BMT); err == nil {
+		t.Error("want error for zero size")
+	}
+	if _, err := NewLayout(CounterCoverage+1, BMT); err == nil {
+		t.Error("want error for unaligned size")
+	}
+}
+
+func TestCounterMapping(t *testing.T) {
+	l := MustLayout(1<<20, BMT) // 1 MB region: 64 counter lines
+	if l.NumCounterLines != 64 {
+		t.Fatalf("NumCounterLines = %d, want 64", l.NumCounterLines)
+	}
+	cases := []struct {
+		addr uint64
+		line uint64
+		slot int
+	}{
+		{0, 0, 0},
+		{127, 0, 0},
+		{128, 0, 1},
+		{16*1024 - 1, 0, 127},
+		{16 * 1024, 1, 0},
+		{1<<20 - 1, 63, 127},
+	}
+	for _, tc := range cases {
+		if got := l.CounterLine(tc.addr); got != tc.line {
+			t.Errorf("CounterLine(%#x) = %d, want %d", tc.addr, got, tc.line)
+		}
+		if got := l.CounterSlot(tc.addr); got != tc.slot {
+			t.Errorf("CounterSlot(%#x) = %d, want %d", tc.addr, got, tc.slot)
+		}
+	}
+}
+
+func TestMACMapping(t *testing.T) {
+	l := MustLayout(1<<20, BMT)
+	// One MAC line covers 16 data lines = 2 KB.
+	if got, want := l.NumMACLines, uint64(1<<20/2048); got != want {
+		t.Fatalf("NumMACLines = %d, want %d", got, want)
+	}
+	if got := l.MACLine(0); got != 0 {
+		t.Errorf("MACLine(0) = %d", got)
+	}
+	if got := l.MACLine(2048); got != 1 {
+		t.Errorf("MACLine(2048) = %d, want 1", got)
+	}
+	if got := l.MACBlockSlot(128 * 5); got != 5 {
+		t.Errorf("MACBlockSlot(line 5) = %d, want 5", got)
+	}
+	if got := l.MACBlockSlot(2048 + 128); got != 1 {
+		t.Errorf("MACBlockSlot wraps per line: got %d, want 1", got)
+	}
+	// Sector MAC addresses are 2 bytes apart within a block slot.
+	a0 := l.MACSectorAddr(0)
+	a1 := l.MACSectorAddr(32)
+	if a1 != a0+2 {
+		t.Errorf("sector MACs not adjacent: %#x, %#x", a0, a1)
+	}
+	b0 := l.MACSectorAddr(128)
+	if b0 != a0+8 {
+		t.Errorf("block MACs not 8B apart: %#x, %#x", a0, b0)
+	}
+}
+
+// TestMACSectorAddrsDistinct: every sector in a small region maps to a
+// unique, in-range MAC address.
+func TestMACSectorAddrsDistinct(t *testing.T) {
+	l := MustLayout(64*1024, BMT)
+	seen := map[uint64]uint64{}
+	for addr := uint64(0); addr < l.DataBytes; addr += SectorSize {
+		m := l.MACSectorAddr(addr)
+		if m < l.MACBase || m >= l.TreeBase {
+			t.Fatalf("MAC addr %#x for data %#x outside MAC region [%#x,%#x)", m, addr, l.MACBase, l.TreeBase)
+		}
+		if prev, dup := seen[m]; dup {
+			t.Fatalf("data %#x and %#x share MAC address %#x", prev, addr, m)
+		}
+		seen[m] = addr
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	// 16 MB region: 1024 counter lines -> levels 64, 4, 1 (root last
+	// in bottom-up, level 0 = root).
+	l := MustLayout(16<<20, BMT)
+	if l.NumCounterLines != 1024 {
+		t.Fatalf("counter lines = %d", l.NumCounterLines)
+	}
+	want := []uint64{1, 4, 64}
+	if len(l.LevelNodes) != len(want) {
+		t.Fatalf("levels = %v, want %v", l.LevelNodes, want)
+	}
+	for i := range want {
+		if l.LevelNodes[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", l.LevelNodes, want)
+		}
+	}
+	if l.TreeNodes() != 69 {
+		t.Fatalf("TreeNodes = %d, want 69", l.TreeNodes())
+	}
+}
+
+// TestParentChainReachesRoot: from every leaf, following parents
+// terminates at the root (level 0, index 0) in exactly TreeLevels steps.
+func TestParentChainReachesRoot(t *testing.T) {
+	l := MustLayout(16<<20, BMT)
+	for leaf := uint64(0); leaf < l.NumLeaves(); leaf += 17 {
+		level, idx, slot := l.LeafParent(leaf)
+		if slot != int(leaf%TreeArity) {
+			t.Fatalf("leaf %d slot = %d", leaf, slot)
+		}
+		steps := 1
+		for {
+			plevel, pidx, _, ok := l.Parent(level, idx)
+			if !ok {
+				break
+			}
+			if plevel != level-1 {
+				t.Fatalf("parent level %d of level %d", plevel, level)
+			}
+			level, idx = plevel, pidx
+			steps++
+		}
+		if level != 0 || idx != 0 {
+			t.Fatalf("leaf %d chain ended at (%d,%d), not root", leaf, level, idx)
+		}
+		if steps != l.TreeLevels() {
+			t.Fatalf("leaf %d chain length %d, want %d", leaf, steps, l.TreeLevels())
+		}
+	}
+}
+
+// TestNodeFlatIndexUnique: flat indices are dense and unique across
+// all (level, idx) pairs.
+func TestNodeFlatIndexUnique(t *testing.T) {
+	l := MustLayout(16<<20, BMT)
+	seen := make(map[uint64]bool)
+	for level := 0; level < l.TreeLevels(); level++ {
+		for idx := uint64(0); idx < l.LevelNodes[level]; idx++ {
+			f := l.NodeFlatIndex(level, idx)
+			if f >= l.TreeNodes() {
+				t.Fatalf("flat index %d out of range %d", f, l.TreeNodes())
+			}
+			if seen[f] {
+				t.Fatalf("duplicate flat index %d", f)
+			}
+			seen[f] = true
+		}
+	}
+	if uint64(len(seen)) != l.TreeNodes() {
+		t.Fatalf("flat indices not dense: %d of %d", len(seen), l.TreeNodes())
+	}
+}
+
+// TestRegionsDisjoint: data, counter, MAC and tree regions must not
+// overlap and must tile [0, TotalBytes).
+func TestRegionsDisjoint(t *testing.T) {
+	for _, kind := range []TreeKind{BMT, MT} {
+		l := MustLayout(32<<20, kind)
+		if l.CounterBase != l.DataBytes {
+			t.Errorf("%v: counter base %#x != data end %#x", kind, l.CounterBase, l.DataBytes)
+		}
+		if l.MACBase != l.CounterBase+l.NumCounterLines*LineSize {
+			t.Errorf("%v: MAC base misplaced", kind)
+		}
+		if l.TreeBase != l.MACBase+l.NumMACLines*LineSize {
+			t.Errorf("%v: tree base misplaced", kind)
+		}
+		if l.TotalBytes != l.TreeBase+l.TreeBytes() {
+			t.Errorf("%v: total bytes misplaced", kind)
+		}
+	}
+}
+
+// TestGeometryScalesProperty: for random region sizes, derived
+// invariants hold (counter coverage ratio 128:1, MAC ratio 16:1,
+// parent chain sound).
+func TestGeometryScalesProperty(t *testing.T) {
+	f := func(chunks uint16) bool {
+		n := (uint64(chunks%512) + 1) * CounterCoverage
+		l, err := NewLayout(n, BMT)
+		if err != nil {
+			return false
+		}
+		if l.NumDataLines != l.NumCounterLines*MinorCountersPerLine {
+			return false
+		}
+		if l.NumDataLines != l.NumMACLines*BlocksPerMACLine {
+			return false
+		}
+		if l.LevelNodes[0] != 1 {
+			return false
+		}
+		for lv := 1; lv < len(l.LevelNodes); lv++ {
+			if ceilDiv(l.LevelNodes[lv], TreeArity) != l.LevelNodes[lv-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	l := MustLayout(1<<20, BMT)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("CounterLine", func() { l.CounterLine(1 << 20) })
+	mustPanic("MACLine", func() { l.MACLine(1 << 20) })
+	mustPanic("CounterLineAddr", func() { l.CounterLineAddr(l.NumCounterLines) })
+	mustPanic("MACLineAddr", func() { l.MACLineAddr(l.NumMACLines) })
+	mustPanic("LeafParent", func() { l.LeafParent(l.NumLeaves()) })
+	mustPanic("NodeFlatIndex", func() { l.NodeFlatIndex(0, 1) })
+}
+
+func TestRegionOfAndNodeByAddr(t *testing.T) {
+	l := MustLayout(1<<20, BMT)
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{0, RegionData},
+		{l.DataBytes - 1, RegionData},
+		{l.CounterBase, RegionCounter},
+		{l.MACBase, RegionMAC},
+		{l.TreeBase, RegionTree},
+		{l.TotalBytes - 1, RegionTree},
+	}
+	for _, tc := range cases {
+		if got := l.RegionOf(tc.addr); got != tc.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+	for _, r := range []Region{RegionData, RegionCounter, RegionMAC, RegionTree} {
+		if r.String() == "" {
+			t.Error("empty region name")
+		}
+	}
+	// NodeByAddr inverts TreeNodeAddr for every node.
+	for level := 0; level < l.TreeLevels(); level++ {
+		for idx := uint64(0); idx < l.LevelNodes[level]; idx++ {
+			gl, gi := l.NodeByAddr(l.TreeNodeAddr(level, idx))
+			if gl != level || gi != idx {
+				t.Fatalf("NodeByAddr(TreeNodeAddr(%d,%d)) = (%d,%d)", level, idx, gl, gi)
+			}
+		}
+	}
+}
+
+func TestRegionOfPanicsOutside(t *testing.T) {
+	l := MustLayout(1<<20, BMT)
+	for name, fn := range map[string]func(){
+		"RegionOf":   func() { l.RegionOf(l.TotalBytes) },
+		"NodeByAddr": func() { l.NodeByAddr(l.DataBytes) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTreeKindString(t *testing.T) {
+	if BMT.String() != "BMT" || MT.String() != "MT" {
+		t.Error("TreeKind strings")
+	}
+}

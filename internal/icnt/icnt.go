@@ -1,0 +1,56 @@
+// Package icnt models the on-chip interconnect between the SMs and
+// the L2 banks as a fixed-latency, FIFO delay queue per direction.
+// Bandwidth contention on the NoC is not the paper's subject (the
+// bottlenecks under study are the L2, the metadata caches, and DRAM),
+// so the interconnect adds latency and ordering only.
+package icnt
+
+// DelayQueue delivers items a fixed number of cycles after they are
+// pushed, preserving push order among items that become ready on the
+// same cycle. The zero value is not usable; use NewDelayQueue.
+type DelayQueue[T any] struct {
+	latency uint64
+	items   []entry[T]
+	head    int
+}
+
+type entry[T any] struct {
+	readyAt uint64
+	item    T
+}
+
+// NewDelayQueue creates a queue with the given latency in cycles.
+func NewDelayQueue[T any](latency uint64) *DelayQueue[T] {
+	return &DelayQueue[T]{latency: latency}
+}
+
+// Push enqueues an item at cycle now; it becomes ready at now+latency.
+func (q *DelayQueue[T]) Push(now uint64, item T) {
+	q.items = append(q.items, entry[T]{readyAt: now + q.latency, item: item})
+}
+
+// PushAfter enqueues with an extra delay on top of the base latency.
+func (q *DelayQueue[T]) PushAfter(now uint64, extra uint64, item T) {
+	q.items = append(q.items, entry[T]{readyAt: now + q.latency + extra, item: item})
+}
+
+// PopReady returns all items ready at cycle now, in arrival order.
+// Items are pushed with monotonically non-decreasing ready times as
+// long as callers push with non-decreasing now, which the simulator
+// guarantees; the queue exploits that for O(1) amortized pops.
+func (q *DelayQueue[T]) PopReady(now uint64) []T {
+	var out []T
+	for q.head < len(q.items) && q.items[q.head].readyAt <= now {
+		out = append(out, q.items[q.head].item)
+		q.head++
+	}
+	// Compact once the consumed prefix dominates.
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]entry[T](nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return out
+}
+
+// Len reports items still queued.
+func (q *DelayQueue[T]) Len() int { return len(q.items) - q.head }

@@ -1,0 +1,83 @@
+package icnt
+
+import "testing"
+
+func TestFixedLatency(t *testing.T) {
+	q := NewDelayQueue[int](5)
+	q.Push(10, 42)
+	for now := uint64(10); now < 15; now++ {
+		if got := q.PopReady(now); len(got) != 0 {
+			t.Fatalf("item ready early at %d: %v", now, got)
+		}
+	}
+	got := q.PopReady(15)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("PopReady(15) = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestOrderPreserved(t *testing.T) {
+	q := NewDelayQueue[int](2)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Push(1, 3)
+	got := q.PopReady(2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("PopReady(2) = %v", got)
+	}
+	got = q.PopReady(3)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("PopReady(3) = %v", got)
+	}
+}
+
+func TestPushAfter(t *testing.T) {
+	q := NewDelayQueue[string](3)
+	q.PushAfter(10, 7, "x")
+	if got := q.PopReady(19); len(got) != 0 {
+		t.Fatal("early")
+	}
+	if got := q.PopReady(20); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	q := NewDelayQueue[int](0)
+	q.Push(5, 9)
+	if got := q.PopReady(5); len(got) != 1 {
+		t.Fatalf("zero-latency item not ready: %v", got)
+	}
+}
+
+// TestCompaction: the internal buffer must not grow without bound
+// under sustained traffic.
+func TestCompaction(t *testing.T) {
+	q := NewDelayQueue[int](1)
+	for now := uint64(0); now < 100000; now++ {
+		q.Push(now, int(now))
+		q.PopReady(now) // drains the item pushed at now-1
+	}
+	if len(q.items) > 5000 {
+		t.Fatalf("queue buffer grew to %d entries", len(q.items))
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := NewDelayQueue[int](4)
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	q.Push(0, 1)
+	q.Push(0, 2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.PopReady(4)
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}

@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseValidation(t *testing.T) {
+	for _, bad := range []uint64{0, 1, PageSize - 1, PageSize + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSparse(%d): want panic", bad)
+				}
+			}()
+			NewSparse(bad)
+		}()
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	s := NewSparse(4 * PageSize)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	s.Read(100, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("untouched byte %d = %#x, want 0", i, b)
+		}
+	}
+	if s.AllocatedPages() != 0 {
+		t.Fatalf("read allocated %d pages", s.AllocatedPages())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewSparse(16 * PageSize)
+	data := []byte("secure memory for GPUs")
+	s.Write(5, data)
+	got := make([]byte, len(data))
+	s.Read(5, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	s := NewSparse(4 * PageSize)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	s.Write(PageSize/2, data)
+	got := make([]byte, len(data))
+	s.Read(PageSize/2, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+	if s.AllocatedPages() != 4 {
+		t.Fatalf("allocated %d pages, want 4", s.AllocatedPages())
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	s := NewSparse(2 * PageSize)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"read past end", func() { s.Read(2*PageSize-1, make([]byte, 2)) }},
+		{"read at end", func() { s.Read(2*PageSize, make([]byte, 1)) }},
+		{"write past end", func() { s.Write(2*PageSize-1, make([]byte, 2)) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+	// Zero-length access at the boundary is fine.
+	s.Read(2*PageSize, nil)
+	s.Write(0, nil)
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	s := NewSparse(PageSize)
+	f := func(addr uint16, v uint64) bool {
+		a := uint64(addr) % (PageSize - 8)
+		s.WriteUint64(a, v)
+		return s.ReadUint64(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint16RoundTrip(t *testing.T) {
+	s := NewSparse(PageSize)
+	f := func(addr uint16, v uint16) bool {
+		a := uint64(addr) % (PageSize - 2)
+		s.WriteUint16(a, v)
+		return s.ReadUint16(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigEndianLayout(t *testing.T) {
+	s := NewSparse(PageSize)
+	s.WriteUint64(0, 0x0102030405060708)
+	var b [8]byte
+	s.Read(0, b[:])
+	want := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if b != want {
+		t.Fatalf("layout %v, want %v", b, want)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := NewSparse(PageSize)
+	s.Write(0, []byte{1, 2, 3})
+	snap := s.Snapshot(0, 3)
+	s.Write(0, []byte{9, 9, 9})
+	if !bytes.Equal(snap, []byte{1, 2, 3}) {
+		t.Fatalf("snapshot mutated: %v", snap)
+	}
+}
+
+// TestSparseOver4GB: the full paper-scale address space (4 GB data +
+// metadata) is addressable without materializing pages.
+func TestSparseOver4GB(t *testing.T) {
+	s := NewSparse(5 << 30)
+	s.WriteUint64(4<<30+123*8, 42)
+	if got := s.ReadUint64(4<<30 + 123*8); got != 42 {
+		t.Fatalf("high address readback = %d", got)
+	}
+	if s.AllocatedPages() != 1 {
+		t.Fatalf("allocated %d pages, want 1", s.AllocatedPages())
+	}
+}
+
+func BenchmarkSparseWrite128(b *testing.B) {
+	s := NewSparse(1 << 30)
+	buf := make([]byte, 128)
+	b.SetBytes(128)
+	for i := 0; i < b.N; i++ {
+		s.Write(uint64(i%1000)*128, buf)
+	}
+}

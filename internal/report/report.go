@@ -1,0 +1,148 @@
+// Package report renders experiment output as aligned text tables and
+// CSV, the two formats the harness emits for every reproduced table
+// and figure.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented table builder.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat picks a compact precision: integers print bare, small
+// magnitudes keep 3 significant decimals.
+func formatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteText renders an aligned, boxed text table.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteMarkdown renders a GitHub-flavoured markdown table (with the
+// title as a heading), for inclusion in EXPERIMENTS.md-style reports.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	esc := func(c string) string { return strings.ReplaceAll(c, "|", "\\|") }
+	b.WriteString("|")
+	for _, h := range t.Headers {
+		b.WriteString(" " + esc(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range t.Headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("|")
+		for _, c := range row {
+			b.WriteString(" " + esc(c) + " |")
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// F3 formats with three decimals (normalized IPC convention).
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

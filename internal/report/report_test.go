@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "name", "value", "note")
+	t.AddRow("alpha", 1.5, "x")
+	t.AddRow("beta", 1234.5678, "y,z")
+	t.AddRow("gamma", 42, `quote"me`)
+	return t
+}
+
+func TestWriteTextAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line's second column starts at the
+	// same offset.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[2:] {
+		if len(l) < idx {
+			t.Fatalf("short line %q", l)
+		}
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"y,z"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"quote""me"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value,note\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		42:        "42",
+		1.5:       "1.500",
+		1234.5678: "1234.6",
+		0.123456:  "0.123",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Errorf("Pct: %s", Pct(0.1234))
+	}
+	if F3(0.12345) != "0.123" {
+		t.Errorf("F3: %s", F3(0.12345))
+	}
+}
+
+func TestUntitledTable(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow("x")
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "==") {
+		t.Error("untitled table printed a title bar")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "### demo") {
+		t.Error("missing heading")
+	}
+	if !strings.Contains(out, "| name | value | note |") {
+		t.Errorf("header row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(out, "| alpha | 1.500 | x |") {
+		t.Errorf("data row missing:\n%s", out)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tab := New("t", "a")
+	tab.AddRow("x|y")
+	var b strings.Builder
+	if err := tab.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", b.String())
+	}
+}

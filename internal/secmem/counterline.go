@@ -1,0 +1,87 @@
+package secmem
+
+import (
+	"encoding/binary"
+
+	"gpusecmem/internal/geometry"
+)
+
+// CounterLine is the in-engine view of one 128-byte counter line:
+// one 128-bit major counter shared by a 16 KB data chunk plus 128
+// 7-bit minor counters, one per 128 B data line. The packing is exact:
+// 16 B major + 112 B of packed minors = 128 B, which is why one
+// counter line covers precisely 16 KB (Table II).
+type CounterLine struct {
+	// Major is the shared major counter. 128 bits in hardware; 64 bits
+	// of dynamic range is unreachable in simulation, so the top 64
+	// bits are kept only in the serialized form.
+	Major uint64
+	// Minors holds the 128 per-line minor counters, each 0..127.
+	Minors [geometry.MinorCountersPerLine]uint8
+}
+
+// counterLineBytes is the serialized size, equal to the cache-line size.
+const counterLineBytes = geometry.LineSize
+
+// EncodeCounterLine packs the line into its 128-byte memory image.
+func EncodeCounterLine(cl *CounterLine, dst []byte) {
+	if len(dst) < counterLineBytes {
+		panic("secmem: counter line buffer too small")
+	}
+	for i := range dst[:counterLineBytes] {
+		dst[i] = 0
+	}
+	binary.BigEndian.PutUint64(dst[8:16], cl.Major) // low 64 bits of the 128-bit major
+	// Pack 128 x 7-bit minors into dst[16:128].
+	for i, m := range cl.Minors {
+		putBits(dst[16:counterLineBytes], uint(i)*7, 7, uint64(m&0x7f))
+	}
+}
+
+// DecodeCounterLine unpacks a 128-byte memory image.
+func DecodeCounterLine(src []byte) CounterLine {
+	if len(src) < counterLineBytes {
+		panic("secmem: counter line buffer too small")
+	}
+	var cl CounterLine
+	cl.Major = binary.BigEndian.Uint64(src[8:16])
+	for i := range cl.Minors {
+		cl.Minors[i] = uint8(getBits(src[16:counterLineBytes], uint(i)*7, 7))
+	}
+	return cl
+}
+
+// CounterValue combines the major and a minor counter into the single
+// logical counter fed to the OTP: ctr = major<<7 | minor. Incrementing
+// the minor, or bumping the major on minor overflow, always yields a
+// fresh value, which is the no-reuse invariant counter-mode security
+// rests on.
+func (cl *CounterLine) CounterValue(slot int) uint64 {
+	return cl.Major<<7 | uint64(cl.Minors[slot])
+}
+
+// putBits writes the low `width` bits of v at bit offset off in buf
+// (LSB-first within each byte).
+func putBits(buf []byte, off, width uint, v uint64) {
+	for i := uint(0); i < width; i++ {
+		bit := (v >> i) & 1
+		idx := off + i
+		if bit != 0 {
+			buf[idx/8] |= 1 << (idx % 8)
+		} else {
+			buf[idx/8] &^= 1 << (idx % 8)
+		}
+	}
+}
+
+// getBits reads `width` bits at bit offset off in buf.
+func getBits(buf []byte, off, width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		idx := off + i
+		if buf[idx/8]&(1<<(idx%8)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}

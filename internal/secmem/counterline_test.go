@@ -1,0 +1,151 @@
+package secmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpusecmem/internal/geometry"
+)
+
+func TestCounterLineRoundTrip(t *testing.T) {
+	f := func(major uint64, seed uint8) bool {
+		var cl CounterLine
+		cl.Major = major
+		for i := range cl.Minors {
+			cl.Minors[i] = uint8(int(seed)+i*3) % 128
+		}
+		var buf [geometry.LineSize]byte
+		EncodeCounterLine(&cl, buf[:])
+		got := DecodeCounterLine(buf[:])
+		if got.Major != cl.Major {
+			return false
+		}
+		return got.Minors == cl.Minors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCounterLinePackingExact: 16B major + 128x7bit = exactly 128B, so
+// the top minor must land in the last byte and nothing overflows.
+func TestCounterLinePackingExact(t *testing.T) {
+	var cl CounterLine
+	cl.Minors[127] = 127
+	var buf [geometry.LineSize]byte
+	EncodeCounterLine(&cl, buf[:])
+	// Minor 127 occupies bits [889, 896) of the minors area, i.e. the
+	// final byte of the line.
+	if buf[geometry.LineSize-1] == 0 {
+		t.Fatal("top minor counter did not reach the last byte")
+	}
+	got := DecodeCounterLine(buf[:])
+	if got.Minors[127] != 127 {
+		t.Fatalf("minor 127 = %d", got.Minors[127])
+	}
+	if got.Minors[126] != 0 {
+		t.Fatalf("minor 126 contaminated: %d", got.Minors[126])
+	}
+}
+
+// TestCounterLineMinorIsolation: setting one minor leaves every other
+// minor and the major untouched.
+func TestCounterLineMinorIsolation(t *testing.T) {
+	for _, slot := range []int{0, 1, 63, 64, 126, 127} {
+		var cl CounterLine
+		cl.Major = 0xdeadbeef
+		cl.Minors[slot] = 0x55 % 128
+		var buf [geometry.LineSize]byte
+		EncodeCounterLine(&cl, buf[:])
+		got := DecodeCounterLine(buf[:])
+		if got.Major != cl.Major {
+			t.Fatalf("slot %d: major corrupted", slot)
+		}
+		for i := range got.Minors {
+			want := uint8(0)
+			if i == slot {
+				want = 0x55 % 128
+			}
+			if got.Minors[i] != want {
+				t.Fatalf("slot %d: minor %d = %d, want %d", slot, i, got.Minors[i], want)
+			}
+		}
+	}
+}
+
+// TestCounterValueMonotone: bumping a minor or the major strictly
+// increases the combined counter — the no-reuse invariant.
+func TestCounterValueMonotone(t *testing.T) {
+	var cl CounterLine
+	prev := cl.CounterValue(5)
+	for i := 0; i < geometry.MinorCounterMax; i++ {
+		cl.Minors[5]++
+		v := cl.CounterValue(5)
+		if v <= prev {
+			t.Fatalf("counter did not increase: %d -> %d", prev, v)
+		}
+		prev = v
+	}
+	// Overflow handling: major++ with minors reset still increases.
+	cl.Major++
+	cl.Minors[5] = 0
+	if v := cl.CounterValue(5); v <= prev {
+		t.Fatalf("major bump did not increase counter: %d -> %d", prev, v)
+	}
+}
+
+// TestCounterValueUnique: distinct (major, minor) pairs give distinct
+// combined counters.
+func TestCounterValueUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	var cl CounterLine
+	for major := uint64(0); major < 4; major++ {
+		cl.Major = major
+		for minor := uint8(0); minor < 128; minor++ {
+			cl.Minors[0] = minor
+			v := cl.CounterValue(0)
+			if seen[v] {
+				t.Fatalf("counter %d repeats at major=%d minor=%d", v, major, minor)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	buf := make([]byte, 16)
+	putBits(buf, 3, 7, 0x55)
+	if got := getBits(buf, 3, 7); got != 0x55 {
+		t.Fatalf("getBits = %#x, want 0x55", got)
+	}
+	// Overwrite with a different value clears old bits.
+	putBits(buf, 3, 7, 0x2a)
+	if got := getBits(buf, 3, 7); got != 0x2a {
+		t.Fatalf("after overwrite getBits = %#x, want 0x2a", got)
+	}
+	// Neighbours untouched.
+	if got := getBits(buf, 0, 3); got != 0 {
+		t.Fatalf("low neighbour contaminated: %#x", got)
+	}
+	if got := getBits(buf, 10, 7); got != 0 {
+		t.Fatalf("high neighbour contaminated: %#x", got)
+	}
+}
+
+func TestEncodeDecodePanicOnShortBuffer(t *testing.T) {
+	var cl CounterLine
+	short := make([]byte, geometry.LineSize-1)
+	for name, fn := range map[string]func(){
+		"encode": func() { EncodeCounterLine(&cl, short) },
+		"decode": func() { DecodeCounterLine(short) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

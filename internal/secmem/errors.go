@@ -1,0 +1,48 @@
+// Package secmem implements functional secure-memory engines for the
+// two architectures the paper analyzes:
+//
+//   - CounterMode: counter-mode encryption with split major/minor
+//     counters, stateful per-sector MACs over the ciphertext, and a
+//     Bonsai Merkle Tree (BMT) protecting counter integrity, with the
+//     tree root held in an on-chip register.
+//   - Direct: direct (address-tweaked) encryption with per-sector MACs
+//     and a full Merkle Tree (MT) over the MAC lines.
+//
+// "Functional" means these engines really encrypt, really MAC, and
+// really hash: data stored in the backing mem.Sparse (the untrusted
+// DRAM) is ciphertext plus metadata, and any tampering or replay of
+// that storage is detected on read, exactly per the paper's threat
+// model (Section II-B). The timing behaviour of the same architecture
+// (metadata caches, MSHRs, AES engine throughput) is modelled
+// separately in internal/sim.
+package secmem
+
+import "fmt"
+
+// IntegrityError reports a failed integrity verification. The paper's
+// hardware would raise an exception at this point (speculative
+// verification delivers data first and faults later); the functional
+// engine surfaces it as an error from the access.
+type IntegrityError struct {
+	// Kind identifies which check failed: "mac", "tree", or "root".
+	Kind string
+	// Addr is the data address whose verification failed.
+	Addr uint64
+	// Detail describes the failing comparison.
+	Detail string
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("secmem: integrity violation (%s) at %#x: %s", e.Kind, e.Addr, e.Detail)
+}
+
+// AccessError reports a malformed access (misaligned or out of range).
+type AccessError struct {
+	Op   string
+	Addr uint64
+	Why  string
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("secmem: bad %s at %#x: %s", e.Op, e.Addr, e.Why)
+}

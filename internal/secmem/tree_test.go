@@ -1,0 +1,231 @@
+package secmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpusecmem/internal/crypto"
+	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/mem"
+)
+
+func newTestTree(t *testing.T, dataBytes uint64) (*integrityTree, [][]byte) {
+	t.Helper()
+	lay, err := geometry.NewLayout(dataBytes, geometry.BMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := mem.NewSparse((lay.TotalBytes + mem.PageSize) / mem.PageSize * mem.PageSize)
+	tr := &integrityTree{lay: lay, hash: crypto.MustCMAC(make([]byte, 16)), backing: backing}
+	leaves := make([][]byte, lay.NumLeaves())
+	for i := range leaves {
+		leaves[i] = make([]byte, geometry.LineSize)
+		for j := range leaves[i] {
+			leaves[i][j] = byte(i + j)
+		}
+	}
+	tr.init(func(leaf uint64) []byte { return leaves[leaf] })
+	return tr, leaves
+}
+
+func TestTreeInitVerifiesAllLeaves(t *testing.T) {
+	tr, leaves := newTestTree(t, 1<<20) // 64 leaves
+	for i, content := range leaves {
+		if err := tr.verifyLeaf(uint64(i), content, uint64(i)); err != nil {
+			t.Fatalf("leaf %d does not verify after init: %v", i, err)
+		}
+	}
+}
+
+func TestTreeDetectsWrongLeafContent(t *testing.T) {
+	tr, leaves := newTestTree(t, 1<<20)
+	bad := append([]byte(nil), leaves[5]...)
+	bad[0] ^= 1
+	err := tr.verifyLeaf(5, bad, 0x500)
+	if err == nil {
+		t.Fatal("corrupted leaf verified")
+	}
+	ie, ok := err.(*IntegrityError)
+	if !ok || ie.Kind != "tree" {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestTreeDetectsLeafSwap: two leaves with swapped contents fail even
+// though each content is individually valid somewhere — the position
+// binding property.
+func TestTreeDetectsLeafSwap(t *testing.T) {
+	tr, leaves := newTestTree(t, 1<<20)
+	if err := tr.verifyLeaf(3, leaves[4], 0); err == nil {
+		t.Fatal("leaf 4's content verified at position 3")
+	}
+}
+
+func TestTreeUpdatePropagatesToRoot(t *testing.T) {
+	tr, leaves := newTestTree(t, 1<<20)
+	oldRoot := tr.root
+	leaves[7][10] ^= 0xff
+	tr.updateLeaf(7, leaves[7])
+	if tr.root == oldRoot {
+		t.Fatal("root register unchanged after leaf update")
+	}
+	if err := tr.verifyLeaf(7, leaves[7], 0); err != nil {
+		t.Fatalf("updated leaf does not verify: %v", err)
+	}
+	// Unrelated leaves still verify (update did not corrupt siblings).
+	for _, i := range []uint64{0, 6, 8, 63} {
+		if err := tr.verifyLeaf(i, leaves[i], 0); err != nil {
+			t.Fatalf("leaf %d broken by update of leaf 7: %v", i, err)
+		}
+	}
+}
+
+func TestTreeDetectsInteriorTamper(t *testing.T) {
+	tr, leaves := newTestTree(t, 16<<20) // 1024 leaves, 3 interior levels
+	// Corrupt a middle-level node.
+	addr := tr.lay.TreeNodeAddr(1, 2)
+	raw := tr.backing.Snapshot(addr, 1)
+	tr.backing.Write(addr, []byte{raw[0] ^ 0x55})
+	// Some leaf under that node must fail; leaf index covered by node
+	// (1,2): subtree spans leaves [2*16*16, 3*16*16).
+	leaf := uint64(2 * 256)
+	if err := tr.verifyLeaf(leaf, leaves[leaf], 0); err == nil {
+		t.Fatal("interior tamper undetected")
+	}
+	// A leaf in a different subtree still verifies.
+	if err := tr.verifyLeaf(0, leaves[0], 0); err != nil {
+		t.Fatalf("unrelated subtree broken: %v", err)
+	}
+}
+
+func TestTreeDetectsRootRegisterMismatch(t *testing.T) {
+	tr, leaves := newTestTree(t, 1<<20)
+	tr.root ^= 1
+	err := tr.verifyLeaf(0, leaves[0], 0)
+	ie, ok := err.(*IntegrityError)
+	if !ok || ie.Kind != "root" {
+		t.Fatalf("want root mismatch, got %v", err)
+	}
+}
+
+// TestTreeRandomUpdatesStayConsistent: a random sequence of updates
+// keeps every leaf verifiable (quick-check over update schedules).
+func TestTreeRandomUpdatesStayConsistent(t *testing.T) {
+	f := func(schedule []uint16) bool {
+		lay, _ := geometry.NewLayout(1<<20, geometry.BMT)
+		backing := mem.NewSparse((lay.TotalBytes + mem.PageSize) / mem.PageSize * mem.PageSize)
+		tr := &integrityTree{lay: lay, hash: crypto.MustCMAC(make([]byte, 16)), backing: backing}
+		leaves := make([][]byte, lay.NumLeaves())
+		for i := range leaves {
+			leaves[i] = make([]byte, geometry.LineSize)
+		}
+		tr.init(func(leaf uint64) []byte { return leaves[leaf] })
+		for step, s := range schedule {
+			leaf := uint64(s) % lay.NumLeaves()
+			leaves[leaf][step%geometry.LineSize]++
+			tr.updateLeaf(leaf, leaves[leaf])
+		}
+		for i := range leaves {
+			if tr.verifyLeaf(uint64(i), leaves[i], 0) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePropertyRoundTrip: quick-check both engines over random
+// (address, data) write/read sequences.
+func TestEnginePropertyRoundTrip(t *testing.T) {
+	type op struct {
+		Line uint16
+		Data [16]byte
+	}
+	mkCheck := func(build func() Engine) func(ops []op) bool {
+		return func(ops []op) bool {
+			e := build()
+			shadow := map[uint64][]byte{}
+			for _, o := range ops {
+				addr := uint64(o.Line) % (testRegion / geometry.LineSize) * geometry.LineSize
+				line := make([]byte, geometry.LineSize)
+				for i := range line {
+					line[i] = o.Data[i%16]
+				}
+				if e.WriteLine(addr, line) != nil {
+					return false
+				}
+				shadow[addr] = line
+			}
+			for addr, want := range shadow {
+				got := make([]byte, geometry.LineSize)
+				if e.ReadLine(addr, got) != nil {
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+	}
+	cfgs := &quick.Config{MaxCount: 15}
+	if err := quick.Check(mkCheck(func() Engine { return MustCounterMode(testRegion, testKeys(), FullProtection) }), cfgs); err != nil {
+		t.Fatalf("counter mode: %v", err)
+	}
+	if err := quick.Check(mkCheck(func() Engine { return MustDirect(testRegion, testKeys(), FullProtection) }), cfgs); err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+}
+
+// TestEnginePropertyTamperAlwaysDetected: flipping any single random
+// bit of a written line's ciphertext is always detected under full
+// protection.
+func TestEnginePropertyTamperAlwaysDetected(t *testing.T) {
+	f := func(lineSel uint16, byteSel uint16, bit uint8, seed byte) bool {
+		e := MustCounterMode(testRegion, testKeys(), FullProtection)
+		addr := uint64(lineSel) % (testRegion / geometry.LineSize) * geometry.LineSize
+		line := make([]byte, geometry.LineSize)
+		fillPattern(line, seed)
+		if e.WriteLine(addr, line) != nil {
+			return false
+		}
+		off := uint64(byteSel) % geometry.LineSize
+		raw := e.Backing().Snapshot(addr+off, 1)
+		e.Backing().Write(addr+off, []byte{raw[0] ^ (1 << (bit % 8))})
+		return e.ReadLine(addr, make([]byte, geometry.LineSize)) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeUpdateLeaf(b *testing.B) {
+	lay, _ := geometry.NewLayout(16<<20, geometry.BMT)
+	backing := mem.NewSparse((lay.TotalBytes + mem.PageSize) / mem.PageSize * mem.PageSize)
+	tr := &integrityTree{lay: lay, hash: crypto.MustCMAC(make([]byte, 16)), backing: backing}
+	zero := make([]byte, geometry.LineSize)
+	tr.init(func(uint64) []byte { return zero })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.updateLeaf(uint64(i)%lay.NumLeaves(), zero)
+	}
+}
+
+func BenchmarkTreeVerifyLeaf(b *testing.B) {
+	lay, _ := geometry.NewLayout(16<<20, geometry.BMT)
+	backing := mem.NewSparse((lay.TotalBytes + mem.PageSize) / mem.PageSize * mem.PageSize)
+	tr := &integrityTree{lay: lay, hash: crypto.MustCMAC(make([]byte, 16)), backing: backing}
+	zero := make([]byte, geometry.LineSize)
+	tr.init(func(uint64) []byte { return zero })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.verifyLeaf(uint64(i)%lay.NumLeaves(), zero, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

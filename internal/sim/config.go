@@ -1,0 +1,241 @@
+// Package sim is the cycle-level GPU timing simulator: SMs with warp
+// scheduling, sectored L1/L2 caches, interconnect, and 32 memory
+// partitions each carrying a secure-memory engine (metadata caches,
+// MSHRs, AES engine queues, MAC units, and integrity-tree traffic)
+// in front of a banked DRAM channel. It reproduces the experimental
+// platform of the paper's Section IV.
+package sim
+
+import (
+	"fmt"
+
+	"gpusecmem/internal/cache"
+	"gpusecmem/internal/dram"
+)
+
+// EncryptionKind selects the data-path encryption scheme.
+type EncryptionKind int
+
+// Encryption schemes.
+const (
+	// EncNone is the insecure baseline GPU.
+	EncNone EncryptionKind = iota
+	// EncCounter is counter-mode (OTP) encryption with split counters.
+	EncCounter
+	// EncDirect is direct (address-tweaked block cipher) encryption.
+	EncDirect
+)
+
+func (e EncryptionKind) String() string {
+	switch e {
+	case EncNone:
+		return "none"
+	case EncCounter:
+		return "counter"
+	}
+	return "direct"
+}
+
+// SecureConfig describes the per-partition secure memory engine.
+type SecureConfig struct {
+	Encryption EncryptionKind
+	// MAC enables per-sector data MACs (and their cache + traffic).
+	MAC bool
+	// Tree enables the integrity tree: a BMT over counter lines under
+	// EncCounter, an MT over MAC lines under EncDirect.
+	Tree bool
+
+	// AESLatency is the cipher pipeline depth in core cycles. Under
+	// counter mode it applies to OTP generation (usually hidden);
+	// under direct encryption it sits on the read critical path.
+	AESLatency int
+	// MACLatency is the MAC unit pipeline depth in cycles.
+	MACLatency int
+	// AESEngines is the number of pipelined AES engines per partition
+	// (1 or 2 in the paper; each moves 16 B per memory cycle).
+	AESEngines int
+
+	// MetaCacheBytes is the per-type metadata cache capacity per
+	// partition (2 KB default; Figure 7 sweeps it).
+	MetaCacheBytes int
+	// MetaMSHRs is the MSHR count per metadata cache (64 default,
+	// 0 = none; Figure 6 sweeps it).
+	MetaMSHRs int
+	// MergeCapCounter/MAC/Tree bound merged requests per MSHR entry
+	// (512/64/64 in the paper).
+	MergeCapCounter int
+	MergeCapMAC     int
+	MergeCapTree    int
+	// MetaAssoc is the metadata cache associativity.
+	MetaAssoc int
+
+	// Unified replaces the three separate metadata caches with one
+	// shared cache (Section V-D) of UnifiedBytes with UnifiedMSHRs.
+	Unified      bool
+	UnifiedBytes int
+	UnifiedMSHRs int
+	// UnifiedPolicy selects the unified cache's replacement policy.
+	// The paper suggests "smart replacement policies" as an
+	// alternative to separate caches; cache.PolicyDIP implements
+	// RRIP set-dueling for the ext-smartunified experiment.
+	UnifiedPolicy cache.Policy
+
+	// PerfectMeta makes metadata caches always hit (perf_mdc).
+	PerfectMeta bool
+	// UnlimitedMeta gives metadata caches infinite capacity
+	// (large_mdc).
+	UnlimitedMeta bool
+	// AllocOnFill is the metadata cache allocation policy (paper
+	// default true).
+	AllocOnFill bool
+	// LazyTreeUpdate updates a dirty counter/tree line's parent only
+	// when the line is evicted from its cache (paper default true);
+	// false updates the parent on every write (eager).
+	LazyTreeUpdate bool
+	// SpeculativeVerify delivers data before integrity verification
+	// completes (paper default true); false blocks the reply until the
+	// MAC check would have finished.
+	SpeculativeVerify bool
+	// ProtectedFraction limits secure-memory coverage to the lowest
+	// fraction of each partition's data space (1.0 = everything, the
+	// paper's model). Fractions below 1 model the selective-encryption
+	// approach of Zuo et al. that the paper's related work discusses:
+	// accesses outside the protected range skip all metadata.
+	ProtectedFraction float64
+}
+
+// Config is the full machine configuration (Table I baseline).
+type Config struct {
+	NumSMs     int
+	IssueWidth int
+	// WarpOverride, when positive, overrides the generator's
+	// warps-per-SM.
+	WarpOverride int
+
+	L1Bytes int
+	L1Assoc int
+
+	L2BankBytes         int
+	L2Assoc             int
+	L2BanksPerPartition int
+	L2MSHRs             int
+	L2MergeCap          int
+	// SectoredL2 models the 4x32B sectored L2 (paper default true;
+	// ablation flips it).
+	SectoredL2 bool
+
+	NumPartitions int
+	L1Latency     uint64
+	L2Latency     uint64
+	IcntLatency   uint64
+	MetaLatency   uint64
+
+	DRAM dram.Config
+
+	// ProtectedBytes is the total protected device memory (4 GB).
+	ProtectedBytes uint64
+
+	// MaxCycles is the simulation length.
+	MaxCycles uint64
+
+	// ProfileReuse enables the Figure 10/11 reuse-distance profilers
+	// on partition 0's counter and MAC access streams.
+	ProfileReuse bool
+
+	Secure SecureConfig
+}
+
+// Baseline returns the paper's Table I configuration with secure
+// memory disabled.
+func Baseline() Config {
+	return Config{
+		NumSMs:              80,
+		IssueWidth:          2,
+		L1Bytes:             32 * 1024,
+		L1Assoc:             4,
+		L2BankBytes:         96 * 1024,
+		L2Assoc:             16,
+		L2BanksPerPartition: 2,
+		L2MSHRs:             256,
+		L2MergeCap:          16,
+		SectoredL2:          true,
+		NumPartitions:       32,
+		L1Latency:           28,
+		L2Latency:           34,
+		IcntLatency:         12,
+		MetaLatency:         2,
+		DRAM:                dram.DefaultConfig(),
+		ProtectedBytes:      4 << 30,
+		MaxCycles:           60_000,
+		Secure: SecureConfig{
+			Encryption:        EncNone,
+			AESLatency:        40,
+			MACLatency:        40,
+			AESEngines:        2,
+			MetaCacheBytes:    2 * 1024,
+			MetaMSHRs:         64,
+			MergeCapCounter:   512,
+			MergeCapMAC:       64,
+			MergeCapTree:      64,
+			MetaAssoc:         8,
+			UnifiedBytes:      6 * 1024,
+			UnifiedMSHRs:      192,
+			AllocOnFill:       true,
+			LazyTreeUpdate:    true,
+			SpeculativeVerify: true,
+			ProtectedFraction: 1.0,
+		},
+	}
+}
+
+// SecureMem returns the Table I machine with the full counter-mode +
+// MAC + BMT secure memory enabled (the paper's secureMem design with
+// MSHRs).
+func SecureMem() Config {
+	cfg := Baseline()
+	cfg.Secure.Encryption = EncCounter
+	cfg.Secure.MAC = true
+	cfg.Secure.Tree = true
+	return cfg
+}
+
+// DirectMem returns the Table I machine with direct encryption at the
+// given AES latency and the requested integrity level.
+func DirectMem(aesLatency int, mac, tree bool) Config {
+	cfg := Baseline()
+	cfg.Secure.Encryption = EncDirect
+	cfg.Secure.AESLatency = aesLatency
+	cfg.Secure.MAC = mac
+	cfg.Secure.Tree = tree
+	if mac && !tree {
+		// Fig 17 fairness: direct_mac gets the whole 6 KB as MAC cache.
+		cfg.Secure.MetaCacheBytes = 6 * 1024
+	} else if mac && tree {
+		// direct_mac_mt: 3 KB MAC + 3 KB MT.
+		cfg.Secure.MetaCacheBytes = 3 * 1024
+	}
+	return cfg
+}
+
+// Validate reports configuration errors early.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("sim: NumSMs must be positive")
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("sim: IssueWidth must be positive")
+	case c.NumPartitions <= 0:
+		return fmt.Errorf("sim: NumPartitions must be positive")
+	case c.MaxCycles == 0:
+		return fmt.Errorf("sim: MaxCycles must be positive")
+	case c.ProtectedBytes%uint64(c.NumPartitions) != 0:
+		return fmt.Errorf("sim: ProtectedBytes %d not divisible by %d partitions", c.ProtectedBytes, c.NumPartitions)
+	case c.Secure.Encryption == EncDirect && c.Secure.Tree && !c.Secure.MAC:
+		return fmt.Errorf("sim: direct encryption MT requires MACs (tree leaves)")
+	case c.Secure.Encryption != EncNone && c.Secure.AESEngines <= 0:
+		return fmt.Errorf("sim: AESEngines must be positive with encryption enabled")
+	case c.Secure.ProtectedFraction < 0 || c.Secure.ProtectedFraction > 1:
+		return fmt.Errorf("sim: ProtectedFraction %f outside [0,1]", c.Secure.ProtectedFraction)
+	}
+	return nil
+}

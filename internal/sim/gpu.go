@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpusecmem/internal/cache"
+	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/icnt"
+	"gpusecmem/internal/smcore"
+	"gpusecmem/internal/trace"
+)
+
+// l2Msg travels SM -> partition.
+type l2Msg struct {
+	globalAddr uint64
+	token      uint64
+	write      bool
+}
+
+// smReply travels partition -> SM; token identifies the L1-level
+// request (and thus the SM and warp).
+type smReply struct {
+	globalAddr uint64
+	token      uint64
+}
+
+// loadReq records an outstanding L1-level sector request.
+type loadReq struct {
+	sm         int
+	warp       int
+	fillBypass bool
+}
+
+// GPU is one simulated machine instance running one workload.
+type GPU struct {
+	cfg Config
+	gen smcore.Generator
+
+	sms   []*smcore.SM
+	l1s   []*cache.Cache
+	parts []*partition
+
+	toL2 *icnt.DelayQueue[l2Msg]
+	toSM *icnt.DelayQueue[smReply]
+
+	now      uint64
+	tokenSeq uint64
+	loads    map[uint64]loadReq
+}
+
+// New builds a GPU for cfg running the given workload generator.
+func New(cfg Config, gen smcore.Generator) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		cfg:   cfg,
+		gen:   gen,
+		toL2:  icnt.NewDelayQueue[l2Msg](cfg.IcntLatency),
+		toSM:  icnt.NewDelayQueue[smReply](cfg.IcntLatency),
+		loads: make(map[uint64]loadReq),
+	}
+	gen = g.wrapGenerator(gen)
+	g.gen = gen
+	active := gen.ActiveSMs()
+	if active <= 0 || active > cfg.NumSMs {
+		active = cfg.NumSMs
+	}
+	for i := 0; i < active; i++ {
+		g.sms = append(g.sms, smcore.New(i, gen, cfg.IssueWidth))
+		g.l1s = append(g.l1s, cache.New(cache.Config{
+			Name:        "L1",
+			SizeBytes:   cfg.L1Bytes,
+			LineSize:    geometry.LineSize,
+			Assoc:       cfg.L1Assoc,
+			Sectored:    true,
+			NumMSHRs:    64,
+			MergeCap:    16,
+			AllocOnFill: true,
+		}))
+	}
+	for p := 0; p < cfg.NumPartitions; p++ {
+		g.parts = append(g.parts, newPartition(p, g))
+	}
+	return g, nil
+}
+
+// wrapGenerator applies the WarpOverride and clamps addresses to the
+// protected region.
+func (g *GPU) wrapGenerator(gen smcore.Generator) smcore.Generator {
+	return &boundedGen{inner: gen, limit: g.cfg.ProtectedBytes, warpOverride: g.cfg.WarpOverride}
+}
+
+type boundedGen struct {
+	inner        smcore.Generator
+	limit        uint64
+	warpOverride int
+}
+
+func (b *boundedGen) Name() string { return b.inner.Name() }
+func (b *boundedGen) WarpsPerSM() int {
+	if b.warpOverride > 0 {
+		return b.warpOverride
+	}
+	return b.inner.WarpsPerSM()
+}
+func (b *boundedGen) ActiveSMs() int { return b.inner.ActiveSMs() }
+func (b *boundedGen) Next(sm, warp, iter int) smcore.WarpOp {
+	op := b.inner.Next(sm, warp, iter)
+	for i, a := range op.Sectors {
+		op.Sectors[i] = a % b.limit / trace.SectorSize * trace.SectorSize
+	}
+	return op
+}
+
+func (g *GPU) newToken() uint64 {
+	g.tokenSeq++
+	return g.tokenSeq
+}
+
+// partitionOf returns the partition index and partition-local address
+// of a global address (256 B interleave across partitions).
+func (g *GPU) partitionOf(globalAddr uint64) (int, uint64) {
+	np := uint64(g.cfg.NumPartitions)
+	chunk := globalAddr / 256
+	part := int(chunk % np)
+	local := (chunk/np)*256 + globalAddr%256
+	return part, local
+}
+
+// scheduleReply sends completed sector data back toward the SMs.
+func (g *GPU) scheduleReply(at uint64, globalAddr uint64, tokens []uint64) {
+	extra := uint64(0)
+	if at > g.now {
+		extra = at - g.now
+	}
+	for _, tok := range tokens {
+		g.toSM.PushAfter(g.now, extra, smReply{globalAddr: globalAddr, token: tok})
+	}
+}
+
+// issueMem is the SM memory callback: it performs L1 lookups and
+// forwards misses and stores toward the partitions.
+func (g *GPU) issueMem(mi smcore.MemIssue) int {
+	if mi.Write {
+		for _, addr := range mi.Sectors {
+			g.toL2.Push(g.now, l2Msg{globalAddr: addr, write: true})
+		}
+		return 0
+	}
+	l1 := g.l1s[mi.SM]
+	outstanding := 0
+	for _, addr := range mi.Sectors {
+		tok := g.newToken()
+		acc := l1.Access(addr, false, tok)
+		switch {
+		case acc.Outcome == cache.Hit:
+			outstanding++
+			g.loads[tok] = loadReq{sm: mi.SM, warp: mi.Warp}
+			// Hit latency reply through the local pipeline (no icnt).
+			g.toSM.PushAfter(g.now, g.cfg.L1Latency, smReply{globalAddr: addr, token: tok})
+		case acc.NeedFetch:
+			outstanding++
+			g.loads[tok] = loadReq{sm: mi.SM, warp: mi.Warp, fillBypass: acc.Bypass}
+			g.toL2.Push(g.now, l2Msg{globalAddr: addr, token: tok})
+		default: // merged into an L1 MSHR
+			outstanding++
+			g.loads[tok] = loadReq{sm: mi.SM, warp: mi.Warp}
+		}
+	}
+	return outstanding
+}
+
+// deliverReply processes one sector arriving back at an SM: fill the
+// L1 and wake every warp waiting on it.
+func (g *GPU) deliverReply(r smReply) {
+	lr, ok := g.loads[r.token]
+	if !ok {
+		return
+	}
+	l1 := g.l1s[lr.sm]
+	if l1.Present(r.globalAddr) {
+		// L1 hit reply or a redundant bypass fill.
+		g.completeLoad(r.token)
+		return
+	}
+	fill := g.l1s[lr.sm].Fill(r.globalAddr, lr.fillBypass, false)
+	// L1 is write-through: evictions are clean, no writeback path.
+	tokens := fill.Tokens
+	if lr.fillBypass {
+		tokens = append(tokens, r.token)
+	}
+	if len(tokens) == 0 {
+		tokens = []uint64{r.token}
+	}
+	for _, tok := range tokens {
+		g.completeLoad(tok)
+	}
+}
+
+func (g *GPU) completeLoad(token uint64) {
+	lr, ok := g.loads[token]
+	if !ok {
+		return
+	}
+	delete(g.loads, token)
+	g.sms[lr.sm].Complete(lr.warp, g.now)
+}
+
+// step advances the machine one cycle.
+func (g *GPU) step() {
+	g.now++
+	// Interconnect deliveries into the partitions.
+	for _, m := range g.toL2.PopReady(g.now) {
+		part, local := g.partitionOf(m.globalAddr)
+		if m.write {
+			g.parts[part].handleL2Write(local, g.now)
+		} else {
+			g.parts[part].handleL2Read(m.globalAddr, local, m.token, g.now)
+		}
+	}
+	// Partitions: replies and DRAM.
+	for _, p := range g.parts {
+		p.tick(g.now)
+	}
+	// Replies into the SMs.
+	for _, r := range g.toSM.PopReady(g.now) {
+		g.deliverReply(r)
+	}
+	// Issue.
+	for _, sm := range g.sms {
+		sm.Tick(g.now, g.issueMem)
+	}
+}
+
+// Run simulates cfg.MaxCycles cycles and gathers the result.
+func (g *GPU) Run() *Result {
+	for g.now < g.cfg.MaxCycles {
+		g.step()
+	}
+	return g.collect()
+}
+
+func (g *GPU) collect() *Result {
+	res := &Result{Benchmark: g.gen.Name(), Cycles: g.now}
+	for _, sm := range g.sms {
+		res.Instructions += sm.Instructions
+	}
+	for _, l1 := range g.l1s {
+		addStats(&res.L1, l1.Stats)
+	}
+	for _, p := range g.parts {
+		for _, b := range p.banks {
+			addStats(&res.L2, b.Stats)
+		}
+		ds := p.dram.Stats
+		res.RowHits += ds.RowHits
+		res.RowMisses += ds.RowMisses
+		for k := 0; k < int(numKinds); k++ {
+			if k < len(ds.RequestsByKind) {
+				res.RequestsByKind[k] += ds.RequestsByKind[k]
+				res.BytesByKind[k] += ds.BytesByKind[k]
+			}
+		}
+		for m := 0; m < int(numMeta); m++ {
+			res.Meta[m].Accesses += p.metaStats[m].Accesses
+			res.Meta[m].MissesPrimary += p.metaStats[m].MissesPrimary
+			res.Meta[m].MissesSecondary += p.metaStats[m].MissesSecondary
+		}
+		for _, mc := range []*cache.Cache{p.ctr, p.mac, p.tree} {
+			if mc != nil {
+				res.MetaCacheWritebacks += mc.Stats.Writebacks
+			}
+		}
+		if p.cfg.Secure.Unified && p.ctr != nil {
+			// The aliased unified cache was counted three times.
+			res.MetaCacheWritebacks -= 2 * p.ctr.Stats.Writebacks
+		}
+		if p.ctrReuse != nil {
+			res.CounterReuse = p.ctrReuse
+			res.MACReuse = p.macReuse
+		}
+	}
+	// Peak bytes/cycle per partition = BeatBytes / (BeatThirds/3).
+	perPart := uint64(g.cfg.DRAM.BeatBytes) * 3 / uint64(g.cfg.DRAM.BeatThirds)
+	res.PeakBandwidthBytes = perPart * uint64(g.cfg.NumPartitions) * g.now
+	return res
+}
+
+func addStats(dst *cache.Stats, src cache.Stats) {
+	dst.Accesses += src.Accesses
+	dst.Hits += src.Hits
+	dst.MissesPrimary += src.MissesPrimary
+	dst.MissesSecondary += src.MissesSecondary
+	dst.MissesBypass += src.MissesBypass
+	dst.Fills += src.Fills
+	dst.Evictions += src.Evictions
+	dst.Writebacks += src.Writebacks
+}
+
+// Run is the package-level convenience: build a GPU for cfg and the
+// named benchmark and simulate it.
+func Run(cfg Config, benchmark string) (*Result, error) {
+	gen := trace.New(benchmark)
+	g, err := New(cfg, gen)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return g.Run(), nil
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "encoding/json"
+
+// resultJSON is the stable wire form of a Result: derived metrics are
+// materialized so downstream analysis needs no simulator code.
+type resultJSON struct {
+	Benchmark     string             `json:"benchmark"`
+	Cycles        uint64             `json:"cycles"`
+	Instructions  uint64             `json:"instructions"`
+	IPC           float64            `json:"ipc"`
+	BandwidthUtil float64            `json:"bandwidth_utilization"`
+	Requests      map[string]uint64  `json:"dram_requests"`
+	Bytes         map[string]uint64  `json:"dram_bytes"`
+	L1MissRate    float64            `json:"l1_miss_rate"`
+	L2MissRate    float64            `json:"l2_miss_rate"`
+	L2Accesses    uint64             `json:"l2_accesses"`
+	Meta          map[string]metaOut `json:"metadata"`
+	RowHitRate    float64            `json:"dram_row_hit_rate"`
+}
+
+type metaOut struct {
+	Accesses       uint64  `json:"accesses"`
+	MissRate       float64 `json:"miss_rate"`
+	SecondaryRatio float64 `json:"secondary_ratio"`
+}
+
+// MarshalJSON renders the result with derived metrics included.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Benchmark:     r.Benchmark,
+		Cycles:        r.Cycles,
+		Instructions:  r.Instructions,
+		IPC:           r.IPC(),
+		BandwidthUtil: r.BandwidthUtilization(),
+		Requests:      map[string]uint64{},
+		Bytes:         map[string]uint64{},
+		L1MissRate:    r.L1.MissRate(),
+		L2MissRate:    r.L2.MissRate(),
+		L2Accesses:    r.L2.Accesses,
+		Meta:          map[string]metaOut{},
+	}
+	for k := KindData; k < numKinds; k++ {
+		out.Requests[k.String()] = r.RequestsByKind[k]
+		out.Bytes[k.String()] = r.BytesByKind[k]
+	}
+	for m := MetaCounter; m < numMeta; m++ {
+		if r.Meta[m].Accesses == 0 {
+			continue
+		}
+		out.Meta[m.String()] = metaOut{
+			Accesses:       r.Meta[m].Accesses,
+			MissRate:       r.Meta[m].MissRate(),
+			SecondaryRatio: r.Meta[m].SecondaryRatio(),
+		}
+	}
+	if hm := r.RowHits + r.RowMisses; hm > 0 {
+		out.RowHitRate = float64(r.RowHits) / float64(hm)
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestResultJSON(t *testing.T) {
+	cfg := SecureMem()
+	cfg.MaxCycles = 3000
+	r, err := Run(cfg, "fdtd2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"benchmark", "ipc", "bandwidth_utilization", "dram_requests", "metadata", "l2_miss_rate"} {
+		if _, ok := out[key]; !ok {
+			t.Errorf("missing key %q in %s", key, b)
+		}
+	}
+	reqs := out["dram_requests"].(map[string]interface{})
+	if reqs["ctr"].(float64) <= 0 {
+		t.Error("no counter requests serialized")
+	}
+	meta := out["metadata"].(map[string]interface{})
+	if _, ok := meta["counter"]; !ok {
+		t.Error("missing counter metadata stats")
+	}
+}
+
+func TestResultJSONBaselineOmitsMeta(t *testing.T) {
+	cfg := Baseline()
+	cfg.MaxCycles = 1500
+	r, err := Run(cfg, "nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(r)
+	var out struct {
+		Meta map[string]interface{} `json:"metadata"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Meta) != 0 {
+		t.Errorf("baseline serialized metadata stats: %v", out.Meta)
+	}
+}

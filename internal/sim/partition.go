@@ -1,0 +1,676 @@
+package sim
+
+import (
+	"container/heap"
+
+	"gpusecmem/internal/cache"
+	"gpusecmem/internal/dram"
+	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/stats"
+)
+
+// destKind classifies what a completed DRAM transaction was for.
+type destKind int
+
+const (
+	destDataFill destKind = iota
+	destCtrFill
+	destMACFill
+	destTreeFill
+)
+
+type dest struct {
+	kind   destKind
+	addr   uint64 // metadata line address (fills)
+	readID uint64 // waiting read for destDataFill / bypass metadata fetches
+	bypass bool
+	write  bool
+}
+
+// readState tracks one in-flight L2 read miss through the secure
+// engine.
+type readState struct {
+	id         uint64
+	globalAddr uint64
+	localAddr  uint64
+	l2Token    uint64
+	l2Bypass   bool
+	l2Bank     int
+
+	dataDone, ctrDone, macDone bool
+	// unprotected marks reads outside the selective-encryption range:
+	// no crypto on the reply path.
+	unprotected         bool
+	dataReady, ctrReady uint64
+	macReady            uint64
+	replied             bool
+	// finished is set once the reply event fired and the L2 was
+	// filled; only then may the state be retired.
+	finished bool
+}
+
+type replyEvent struct {
+	at     uint64
+	readID uint64
+}
+
+type replyHeap []replyEvent
+
+func (h replyHeap) Len() int            { return len(h) }
+func (h replyHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h replyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *replyHeap) Push(x interface{}) { *h = append(*h, x.(replyEvent)) }
+func (h *replyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// partition is one memory partition: L2 banks, the secure memory
+// engine (metadata caches, AES engines, MAC unit), and the DRAM
+// channel.
+type partition struct {
+	id  int
+	gpu *GPU
+	cfg *Config
+	lay *geometry.Layout
+
+	banks []*cache.Cache
+	dram  *dram.DRAM
+
+	// Metadata caches. With a unified configuration all three point
+	// at the same cache; with EncDirect ctr is nil.
+	ctr, mac, tree *cache.Cache
+
+	aesFree3 []uint64
+	macFree3 uint64
+
+	dests   map[uint64]dest
+	reads   map[uint64]*readState
+	replies replyHeap
+
+	metaStats [numMeta]MetaStats
+
+	// protectedStripes is the number of 1 MB partition-local stripes
+	// out of 16 that the secure engine covers (selective encryption);
+	// 16 = everything.
+	protectedStripes uint64
+
+	ctrReuse, macReuse *stats.ReuseProfiler
+}
+
+func newPartition(id int, gpu *GPU) *partition {
+	cfg := &gpu.cfg
+	p := &partition{
+		id:    id,
+		gpu:   gpu,
+		cfg:   cfg,
+		dram:  dram.New(cfg.DRAM),
+		dests: make(map[uint64]dest),
+		reads: make(map[uint64]*readState),
+	}
+	for b := 0; b < cfg.L2BanksPerPartition; b++ {
+		p.banks = append(p.banks, cache.New(cache.Config{
+			Name:        "L2",
+			SizeBytes:   cfg.L2BankBytes,
+			LineSize:    geometry.LineSize,
+			Assoc:       cfg.L2Assoc,
+			Sectored:    cfg.SectoredL2,
+			NumMSHRs:    cfg.L2MSHRs,
+			MergeCap:    cfg.L2MergeCap,
+			AllocOnFill: true,
+		}))
+	}
+	sc := &cfg.Secure
+	if sc.Encryption != EncNone {
+		p.lay = layoutFor(cfg)
+		p.protectedStripes = uint64(sc.ProtectedFraction*16 + 0.5)
+		p.aesFree3 = make([]uint64, sc.AESEngines)
+		metaCache := func(name string, mergeCap int) *cache.Cache {
+			return cache.New(cache.Config{
+				Name:        name,
+				SizeBytes:   sc.MetaCacheBytes,
+				LineSize:    geometry.LineSize,
+				Assoc:       sc.MetaAssoc,
+				NumMSHRs:    sc.MetaMSHRs,
+				MergeCap:    mergeCap,
+				AllocOnFill: sc.AllocOnFill,
+				Perfect:     sc.PerfectMeta,
+				Unlimited:   sc.UnlimitedMeta,
+			})
+		}
+		if sc.Unified {
+			u := cache.New(cache.Config{
+				Name:        "unified$",
+				SizeBytes:   sc.UnifiedBytes,
+				LineSize:    geometry.LineSize,
+				Assoc:       sc.MetaAssoc,
+				NumMSHRs:    sc.UnifiedMSHRs,
+				MergeCap:    sc.MergeCapCounter,
+				AllocOnFill: sc.AllocOnFill,
+				Perfect:     sc.PerfectMeta,
+				Unlimited:   sc.UnlimitedMeta,
+				Policy:      sc.UnifiedPolicy,
+			})
+			p.ctr, p.mac, p.tree = u, u, u
+		} else {
+			if sc.Encryption == EncCounter {
+				p.ctr = metaCache("ctr$", sc.MergeCapCounter)
+			}
+			if sc.MAC {
+				p.mac = metaCache("mac$", sc.MergeCapMAC)
+			}
+			if sc.Tree {
+				p.tree = metaCache("tree$", sc.MergeCapTree)
+			}
+		}
+		if id == 0 && cfg.ProfileReuse {
+			p.ctrReuse = stats.NewReuseProfiler()
+			p.macReuse = stats.NewReuseProfiler()
+		}
+	}
+	return p
+}
+
+// layoutFor builds the partition-local metadata layout.
+func layoutFor(cfg *Config) *geometry.Layout {
+	kind := geometry.BMT
+	if cfg.Secure.Encryption == EncDirect {
+		kind = geometry.MT
+	}
+	return geometry.MustLayout(cfg.ProtectedBytes/uint64(cfg.NumPartitions), kind)
+}
+
+// isProtected reports whether a partition-local data address falls in
+// the selectively-protected stripes (1 MB granularity, 16 stripes per
+// 16 MB period).
+func (p *partition) isProtected(localAddr uint64) bool {
+	return (localAddr>>20)&15 < p.protectedStripes
+}
+
+func (p *partition) bankFor(localAddr uint64) int {
+	if len(p.banks) == 1 {
+		return 0
+	}
+	return int(localAddr>>8) % len(p.banks)
+}
+
+// --- AES / MAC unit scheduling ---
+
+// aesSchedule books one 32 B sector through a pipelined AES engine
+// that is free no earlier than readyCycle, and returns the cycle its
+// result is available. Zero-crypto configs short-circuit.
+func (p *partition) aesSchedule(readyCycle uint64) uint64 {
+	sc := &p.cfg.Secure
+	if sc.AESLatency == 0 && sc.MACLatency == 0 {
+		return readyCycle
+	}
+	ready3 := readyCycle * 3
+	best := 0
+	for i := 1; i < len(p.aesFree3); i++ {
+		if p.aesFree3[i] < p.aesFree3[best] {
+			best = i
+		}
+	}
+	start3 := ready3
+	if p.aesFree3[best] > start3 {
+		start3 = p.aesFree3[best]
+	}
+	// 32 B through a 16 B/memory-cycle pipeline = 2 memory cycles =
+	// 8 thirds of a core cycle.
+	p.aesFree3[best] = start3 + 8
+	return start3/3 + uint64(sc.AESLatency)
+}
+
+// macSchedule books one sector MAC computation/verification.
+func (p *partition) macSchedule(readyCycle uint64) uint64 {
+	sc := &p.cfg.Secure
+	if sc.AESLatency == 0 && sc.MACLatency == 0 {
+		return readyCycle
+	}
+	ready3 := readyCycle * 3
+	start3 := ready3
+	if p.macFree3 > start3 {
+		start3 = p.macFree3
+	}
+	p.macFree3 = start3 + 8
+	return start3/3 + uint64(sc.MACLatency)
+}
+
+// --- L2-side entry points ---
+
+// handleL2Read services a load sector arriving from the interconnect.
+func (p *partition) handleL2Read(globalAddr, localAddr, token uint64, now uint64) {
+	bank := p.bankFor(localAddr)
+	acc := p.banks[bank].Access(localAddr, false, token)
+	switch {
+	case acc.Outcome == cache.Hit:
+		p.gpu.scheduleReply(now+p.cfg.L2Latency, globalAddr, []uint64{token})
+	case acc.NeedFetch:
+		p.startRead(globalAddr, localAddr, token, acc.Bypass, bank, now)
+	}
+	// Merged: the existing fetch's fill will wake this token.
+}
+
+// handleL2Write services a store sector (write-validate policy).
+func (p *partition) handleL2Write(localAddr uint64, now uint64) {
+	bank := p.bankFor(localAddr)
+	ev, _ := p.banks[bank].WriteValidate(localAddr)
+	if ev != nil {
+		p.handleDataWriteback(ev, now)
+	}
+}
+
+// startRead launches the secure read path for an L2 sector miss.
+func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool, bank int, now uint64) {
+	rs := &readState{
+		id:         p.gpu.newToken(),
+		globalAddr: globalAddr,
+		localAddr:  localAddr,
+		l2Token:    token,
+		l2Bypass:   l2Bypass,
+		l2Bank:     bank,
+	}
+	p.reads[rs.id] = rs
+	// Data fetch.
+	dt := p.gpu.newToken()
+	p.dests[dt] = dest{kind: destDataFill, readID: rs.id}
+	p.dram.Enqueue(dram.Request{Addr: localAddr, Bytes: geometry.SectorSize, Token: dt, Kind: int(KindData)})
+
+	sc := &p.cfg.Secure
+	protected := p.isProtected(localAddr)
+	if protected && sc.Encryption == EncCounter {
+		p.counterAccess(rs, now)
+	} else {
+		rs.ctrDone = true
+	}
+	if protected && sc.MAC {
+		p.macAccess(rs, now)
+	} else {
+		rs.macDone = true
+	}
+	if !protected {
+		rs.unprotected = true
+	}
+	p.maybeReply(rs, now)
+}
+
+// counterAccess probes the counter cache on the read critical path.
+func (p *partition) counterAccess(rs *readState, now uint64) {
+	ctrAddr := p.lay.CounterLineAddr(p.lay.CounterLine(rs.localAddr))
+	if p.ctrReuse != nil {
+		p.ctrReuse.Touch(ctrAddr / geometry.LineSize)
+	}
+	ms := &p.metaStats[MetaCounter]
+	ms.Accesses++
+	acc := p.ctr.Access(ctrAddr, false, rs.id)
+	switch acc.Outcome {
+	case cache.Hit:
+		rs.ctrDone = true
+		rs.ctrReady = now + p.cfg.MetaLatency
+	case cache.MissPrimary:
+		ms.MissesPrimary++
+	default:
+		ms.MissesSecondary++
+	}
+	if acc.NeedFetch {
+		dt := p.gpu.newToken()
+		d := dest{kind: destCtrFill, addr: ctrAddr, bypass: acc.Bypass}
+		if acc.Bypass {
+			d.readID = rs.id
+		}
+		p.dests[dt] = d
+		p.dram.Enqueue(dram.Request{Addr: ctrAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(KindCounter)})
+	}
+}
+
+// macAccess probes the MAC cache (background under speculative
+// verification).
+func (p *partition) macAccess(rs *readState, now uint64) {
+	macAddr := p.lay.MACSectorAddr(rs.localAddr)
+	macLine := macAddr / geometry.LineSize * geometry.LineSize
+	if p.macReuse != nil {
+		p.macReuse.Touch(macLine / geometry.LineSize)
+	}
+	ms := &p.metaStats[MetaMAC]
+	ms.Accesses++
+	acc := p.mac.Access(macAddr, false, rs.id)
+	switch acc.Outcome {
+	case cache.Hit:
+		rs.macDone = true
+		rs.macReady = now + p.cfg.MetaLatency
+	case cache.MissPrimary:
+		ms.MissesPrimary++
+	default:
+		ms.MissesSecondary++
+	}
+	if acc.NeedFetch {
+		dt := p.gpu.newToken()
+		d := dest{kind: destMACFill, addr: macLine, bypass: acc.Bypass}
+		if acc.Bypass {
+			d.readID = rs.id
+		}
+		p.dests[dt] = d
+		p.dram.Enqueue(dram.Request{Addr: macLine, Bytes: geometry.LineSize, Token: dt, Kind: int(KindMAC)})
+	}
+}
+
+// maybeReply checks whether rs can be scheduled for its L2 fill and
+// SM reply, and if so computes the reply time through the crypto
+// pipeline.
+func (p *partition) maybeReply(rs *readState, now uint64) {
+	if rs.replied {
+		p.maybeRetire(rs)
+		return
+	}
+	sc := &p.cfg.Secure
+	if !rs.dataDone || !rs.ctrDone {
+		return
+	}
+	if !sc.SpeculativeVerify && sc.MAC && !rs.macDone {
+		return
+	}
+	var at uint64
+	switch {
+	case rs.unprotected || sc.Encryption == EncNone:
+		at = rs.dataReady
+	case sc.Encryption == EncCounter:
+		// OTP generation starts when the counter is known; the pad is
+		// XORed when both pad and data are present.
+		otpReady := p.aesSchedule(rs.ctrReady)
+		at = rs.dataReady
+		if otpReady > at {
+			at = otpReady
+		}
+	default: // EncDirect: decryption starts after the ciphertext arrives.
+		at = p.aesSchedule(rs.dataReady)
+	}
+	if sc.MAC && !rs.unprotected {
+		if !sc.SpeculativeVerify {
+			v := rs.macReady
+			if rs.dataReady > v {
+				v = rs.dataReady
+			}
+			v = p.macSchedule(v)
+			if v > at {
+				at = v
+			}
+		} else {
+			// Background verification still occupies the MAC unit.
+			p.macSchedule(now)
+		}
+	}
+	if at <= now {
+		at = now + 1
+	}
+	rs.replied = true
+	heap.Push(&p.replies, replyEvent{at: at, readID: rs.id})
+}
+
+// maybeRetire frees the read state once the reply has fired and every
+// tracked fill has returned.
+func (p *partition) maybeRetire(rs *readState) {
+	if rs.finished && rs.dataDone && rs.ctrDone && rs.macDone {
+		delete(p.reads, rs.id)
+	}
+}
+
+// finishRead fires at the reply time: fill the L2 bank, forward the
+// data to the waiting SMs, and handle any dirty L2 eviction.
+func (p *partition) finishRead(rs *readState, now uint64) {
+	fill := p.banks[rs.l2Bank].Fill(rs.localAddr, rs.l2Bypass, false)
+	tokens := fill.Tokens
+	if rs.l2Bypass {
+		tokens = append(tokens, rs.l2Token)
+	}
+	if fill.Writeback != nil {
+		p.handleDataWriteback(fill.Writeback, now)
+	}
+	if len(tokens) > 0 {
+		p.gpu.scheduleReply(now, rs.globalAddr, tokens)
+	}
+	rs.finished = true
+	p.maybeRetire(rs)
+}
+
+// --- Write path ---
+
+// handleDataWriteback processes a dirty L2 data eviction through the
+// secure write path: counter increment, encryption, MAC update, and
+// the DRAM data write.
+func (p *partition) handleDataWriteback(ev *cache.Eviction, now uint64) {
+	sc := &p.cfg.Secure
+	p.dram.Enqueue(dram.Request{Addr: ev.LineAddr, Bytes: ev.DirtyBytes, Write: true, Kind: int(KindData)})
+	if sc.Encryption == EncNone || !p.isProtected(ev.LineAddr) {
+		return
+	}
+	// Encryption occupancy, one AES pass per dirty sector.
+	for b := 0; b < ev.DirtyBytes; b += geometry.SectorSize {
+		p.aesSchedule(now)
+	}
+	if sc.Encryption == EncCounter {
+		// Counter increment: read-modify-write of the counter line.
+		ctrAddr := p.lay.CounterLineAddr(p.lay.CounterLine(ev.LineAddr))
+		if p.ctrReuse != nil {
+			p.ctrReuse.Touch(ctrAddr / geometry.LineSize)
+		}
+		p.metaWriteAccess(MetaCounter, p.ctr, ctrAddr, destCtrFill, KindCounter)
+		if sc.Tree && !sc.LazyTreeUpdate {
+			level, idx, _ := p.lay.LeafParent(p.lay.CounterLine(ev.LineAddr))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+		}
+	}
+	if sc.MAC {
+		for b := 0; b < ev.DirtyBytes; b += geometry.SectorSize {
+			p.macSchedule(now)
+		}
+		macAddr := p.lay.MACSectorAddr(ev.LineAddr)
+		macLine := macAddr / geometry.LineSize * geometry.LineSize
+		if p.macReuse != nil {
+			p.macReuse.Touch(macLine / geometry.LineSize)
+		}
+		p.metaWriteAccess(MetaMAC, p.mac, macAddr, destMACFill, KindMAC)
+		if sc.Encryption == EncDirect && sc.Tree && !sc.LazyTreeUpdate {
+			level, idx, _ := p.lay.LeafParent(p.lay.MACLine(ev.LineAddr))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+		}
+	}
+}
+
+// metaWriteAccess performs a read-modify-write access to a metadata
+// cache, fetching the line on a miss.
+func (p *partition) metaWriteAccess(mk MetaKind, c *cache.Cache, addr uint64, fillKind destKind, traffic TrafficKind) {
+	ms := &p.metaStats[mk]
+	ms.Accesses++
+	acc := c.Access(addr, true, 0)
+	switch acc.Outcome {
+	case cache.Hit:
+	case cache.MissPrimary:
+		ms.MissesPrimary++
+	default:
+		ms.MissesSecondary++
+	}
+	if acc.Writeback != nil { // allocate-on-miss reservation
+		p.handleMetaWriteback(acc.Writeback, now0)
+	}
+	if acc.NeedFetch {
+		lineAddr := addr / geometry.LineSize * geometry.LineSize
+		dt := p.gpu.newToken()
+		p.dests[dt] = dest{kind: fillKind, addr: lineAddr, bypass: acc.Bypass, write: true}
+		p.dram.Enqueue(dram.Request{Addr: lineAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(traffic)})
+	}
+}
+
+// now0 is a placeholder cycle for paths where the exact cycle of a
+// posted write does not change behaviour.
+const now0 = 0
+
+// treeWriteAccess updates a tree node in the tree cache (lazy-update
+// parent propagation).
+func (p *partition) treeWriteAccess(nodeAddr uint64) {
+	p.metaWriteAccess(MetaTree, p.tree, nodeAddr, destTreeFill, KindTree)
+}
+
+// handleMetaWriteback processes a dirty metadata-cache eviction: the
+// DRAM writeback plus the lazy parent update it triggers.
+func (p *partition) handleMetaWriteback(ev *cache.Eviction, now uint64) {
+	p.dram.Enqueue(dram.Request{Addr: ev.LineAddr, Bytes: ev.DirtyBytes, Write: true, Kind: int(KindWB)})
+	sc := &p.cfg.Secure
+	if !sc.Tree || !sc.LazyTreeUpdate {
+		return
+	}
+	switch p.lay.RegionOf(ev.LineAddr) {
+	case geometry.RegionCounter:
+		leaf := (ev.LineAddr - p.lay.CounterBase) / geometry.LineSize
+		level, idx, _ := p.lay.LeafParent(leaf)
+		p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+	case geometry.RegionMAC:
+		if sc.Encryption == EncDirect {
+			leaf := (ev.LineAddr - p.lay.MACBase) / geometry.LineSize
+			level, idx, _ := p.lay.LeafParent(leaf)
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+		}
+	case geometry.RegionTree:
+		level, idx := p.lay.NodeByAddr(ev.LineAddr)
+		if plevel, pidx, _, ok := p.lay.Parent(level, idx); ok {
+			p.treeWriteAccess(p.lay.TreeNodeAddr(plevel, pidx))
+		}
+		// Level 0's hash lives in the on-chip root register: no
+		// further traffic.
+	}
+}
+
+// --- Integrity verification walks (background, speculative) ---
+
+// verifyWalkFromLeaf starts the tree walk that authenticates a freshly
+// fetched leaf (counter line under BMT, MAC line under MT).
+func (p *partition) verifyWalkFromLeaf(leaf uint64) {
+	level, idx, _ := p.lay.LeafParent(leaf)
+	p.verifyWalk(level, idx)
+}
+
+// verifyWalk authenticates upward from node (level, idx): a cached
+// node terminates the walk (cached implies verified); a miss fetches
+// the node and continues from its parent when the fill returns.
+func (p *partition) verifyWalk(level int, idx uint64) {
+	for {
+		nodeAddr := p.lay.TreeNodeAddr(level, idx)
+		ms := &p.metaStats[MetaTree]
+		ms.Accesses++
+		acc := p.tree.Access(nodeAddr, false, 0)
+		switch acc.Outcome {
+		case cache.Hit:
+			return
+		case cache.MissPrimary:
+			ms.MissesPrimary++
+		default:
+			ms.MissesSecondary++
+		}
+		if acc.Writeback != nil {
+			p.handleMetaWriteback(acc.Writeback, now0)
+		}
+		if acc.NeedFetch {
+			dt := p.gpu.newToken()
+			p.dests[dt] = dest{kind: destTreeFill, addr: nodeAddr, bypass: acc.Bypass}
+			p.dram.Enqueue(dram.Request{Addr: nodeAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(KindTree)})
+			return // continue from the parent at fill time
+		}
+		// Merged into an in-flight fetch: that walk continues for us.
+		return
+	}
+}
+
+// --- DRAM completion dispatch ---
+
+func (p *partition) tick(now uint64) {
+	for len(p.replies) > 0 && p.replies[0].at <= now {
+		ev := heap.Pop(&p.replies).(replyEvent)
+		if rs, ok := p.reads[ev.readID]; ok {
+			p.finishRead(rs, now)
+		}
+	}
+	for _, tok := range p.dram.Tick(now) {
+		d, ok := p.dests[tok]
+		if !ok {
+			continue
+		}
+		delete(p.dests, tok)
+		p.dispatch(d, now)
+	}
+}
+
+func (p *partition) dispatch(d dest, now uint64) {
+	sc := &p.cfg.Secure
+	switch d.kind {
+	case destDataFill:
+		if rs, ok := p.reads[d.readID]; ok {
+			rs.dataDone = true
+			rs.dataReady = now
+			p.maybeReply(rs, now)
+		}
+	case destCtrFill:
+		fill := p.ctr.Fill(d.addr, d.bypass, d.write)
+		if fill.Writeback != nil {
+			p.handleMetaWriteback(fill.Writeback, now)
+		}
+		p.wakeCounterWaiters(fill.Tokens, d, now)
+		if sc.Tree {
+			leaf := (d.addr - p.lay.CounterBase) / geometry.LineSize
+			p.verifyWalkFromLeaf(leaf)
+		}
+	case destMACFill:
+		fill := p.mac.Fill(d.addr, d.bypass, d.write)
+		if fill.Writeback != nil {
+			p.handleMetaWriteback(fill.Writeback, now)
+		}
+		p.wakeMACWaiters(fill.Tokens, d, now)
+		if sc.Encryption == EncDirect && sc.Tree {
+			leaf := (d.addr - p.lay.MACBase) / geometry.LineSize
+			p.verifyWalkFromLeaf(leaf)
+		}
+	case destTreeFill:
+		fill := p.tree.Fill(d.addr, d.bypass, d.write)
+		if fill.Writeback != nil {
+			p.handleMetaWriteback(fill.Writeback, now)
+		}
+		// Continue the verification walk upward.
+		level, idx := p.lay.NodeByAddr(d.addr)
+		if plevel, pidx, _, ok := p.lay.Parent(level, idx); ok {
+			p.verifyWalk(plevel, pidx)
+		}
+	}
+}
+
+func (p *partition) wakeCounterWaiters(tokens []uint64, d dest, now uint64) {
+	if d.bypass && d.readID != 0 {
+		tokens = append(tokens, d.readID)
+	}
+	for _, tok := range tokens {
+		if tok == 0 {
+			continue
+		}
+		if rs, ok := p.reads[tok]; ok {
+			rs.ctrDone = true
+			rs.ctrReady = now
+			p.maybeReply(rs, now)
+		}
+	}
+}
+
+func (p *partition) wakeMACWaiters(tokens []uint64, d dest, now uint64) {
+	if d.bypass && d.readID != 0 {
+		tokens = append(tokens, d.readID)
+	}
+	for _, tok := range tokens {
+		if tok == 0 {
+			continue
+		}
+		if rs, ok := p.reads[tok]; ok {
+			rs.macDone = true
+			rs.macReady = now
+			p.maybeReply(rs, now)
+		}
+	}
+}

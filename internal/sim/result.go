@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpusecmem/internal/cache"
+	"gpusecmem/internal/stats"
+)
+
+// TrafficKind classifies DRAM requests for the Figure 4 breakdown.
+type TrafficKind int
+
+// Traffic kinds. KindWB covers all metadata-cache writebacks, matching
+// the paper's 'wb' series; data writebacks count as KindData ("regular
+// data read and write requests").
+const (
+	KindData TrafficKind = iota
+	KindCounter
+	KindMAC
+	KindTree
+	KindWB
+	numKinds
+)
+
+func (k TrafficKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCounter:
+		return "ctr"
+	case KindMAC:
+		return "mac"
+	case KindTree:
+		return "bmt"
+	case KindWB:
+		return "wb"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MetaKind indexes per-metadata-type statistics.
+type MetaKind int
+
+// Metadata types.
+const (
+	MetaCounter MetaKind = iota
+	MetaMAC
+	MetaTree
+	numMeta
+)
+
+func (m MetaKind) String() string {
+	switch m {
+	case MetaCounter:
+		return "counter"
+	case MetaMAC:
+		return "mac"
+	}
+	return "bmt"
+}
+
+// MetaStats aggregates one metadata type's cache behaviour across
+// partitions (tracked outside cache.Stats so the unified cache still
+// yields per-type numbers for Figure 9).
+type MetaStats struct {
+	Accesses        uint64
+	MissesPrimary   uint64
+	MissesSecondary uint64
+}
+
+// Misses is the total.
+func (m MetaStats) Misses() uint64 { return m.MissesPrimary + m.MissesSecondary }
+
+// MissRate is misses/accesses.
+func (m MetaStats) MissRate() float64 { return stats.Ratio(m.Misses(), m.Accesses) }
+
+// SecondaryRatio is the Figure 5 metric.
+func (m MetaStats) SecondaryRatio() float64 { return stats.Ratio(m.MissesSecondary, m.Misses()) }
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Benchmark string
+	Cycles    uint64
+	// Instructions counts thread-instructions; IPC = Instructions /
+	// Cycles, the paper's metric.
+	Instructions uint64
+
+	// DRAM traffic, chip-wide.
+	RequestsByKind [numKinds]uint64
+	BytesByKind    [numKinds]uint64
+	RowHits        uint64
+	RowMisses      uint64
+
+	// Cache stats, chip-wide aggregates.
+	L1   cache.Stats
+	L2   cache.Stats
+	Meta [numMeta]MetaStats
+
+	// MetaCacheStats aggregates the raw cache counters of the
+	// metadata caches (fills, evictions, writebacks).
+	MetaCacheWritebacks uint64
+
+	// Reuse profilers (partition 0) when Config.ProfileReuse is set.
+	CounterReuse *stats.ReuseProfiler
+	MACReuse     *stats.ReuseProfiler
+
+	// PeakBandwidthBytes is the theoretical DRAM byte capacity of the
+	// run (peak bytes/cycle x cycles), for utilization.
+	PeakBandwidthBytes uint64
+}
+
+// IPC is thread-instructions per cycle.
+func (r *Result) IPC() float64 { return stats.Ratio(r.Instructions, r.Cycles) }
+
+// TotalRequests sums DRAM requests over kinds.
+func (r *Result) TotalRequests() uint64 {
+	var t uint64
+	for _, v := range r.RequestsByKind {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes sums DRAM bytes over kinds.
+func (r *Result) TotalBytes() uint64 {
+	var t uint64
+	for _, v := range r.BytesByKind {
+		t += v
+	}
+	return t
+}
+
+// BandwidthUtilization is DRAM bytes moved / theoretical capacity.
+func (r *Result) BandwidthUtilization() float64 {
+	return stats.Ratio(r.TotalBytes(), r.PeakBandwidthBytes)
+}
+
+// RequestShare returns kind's fraction of all DRAM requests (Fig 4).
+func (r *Result) RequestShare(k TrafficKind) float64 {
+	return stats.Ratio(r.RequestsByKind[k], r.TotalRequests())
+}
+
+// NormalizedIPC divides this run's IPC by a baseline run's IPC.
+func (r *Result) NormalizedIPC(baseline *Result) float64 {
+	b := baseline.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: IPC=%.1f bw=%.1f%% reqs[data=%d ctr=%d mac=%d bmt=%d wb=%d]",
+		r.Benchmark, r.IPC(), 100*r.BandwidthUtilization(),
+		r.RequestsByKind[KindData], r.RequestsByKind[KindCounter],
+		r.RequestsByKind[KindMAC], r.RequestsByKind[KindTree], r.RequestsByKind[KindWB])
+}

@@ -1,0 +1,212 @@
+// Package smcore models the streaming multiprocessors: warp state,
+// greedy-then-oldest scheduling, and the latency tolerance that makes
+// GPUs insensitive to decryption latency (the paper's Section VI-A
+// observation). Instruction semantics are abstract — warps alternate
+// compute batches and memory operations produced by a workload
+// generator — because the paper's experiments exercise the memory
+// system, not the ALUs.
+package smcore
+
+// WarpOp is one generator-produced step of a warp: a batch of compute
+// instructions followed by an optional memory operation.
+type WarpOp struct {
+	// ComputeInstrs is the number of compute instructions issued
+	// back-to-back before the memory operation.
+	ComputeInstrs int
+	// ComputeSpacing is the issue-to-issue distance in cycles of those
+	// compute instructions (dependency chains; 1 = fully independent).
+	ComputeSpacing int
+	// Sectors are the coalesced 32-byte sector addresses of the memory
+	// operation (empty for a pure-compute step).
+	Sectors []uint64
+	// Write marks the memory operation as a store (non-blocking).
+	Write bool
+	// ActiveLanes is the SIMT occupancy of every instruction in this
+	// step (1..32); it scales the thread-instruction count (IPC) the
+	// way divergence does on real hardware.
+	ActiveLanes int
+}
+
+// Generator produces the instruction stream of a workload. Next must
+// be deterministic in (sm, warp, iter).
+type Generator interface {
+	// Name is the benchmark name.
+	Name() string
+	// WarpsPerSM is the resident warp count per SM.
+	WarpsPerSM() int
+	// ActiveSMs caps how many SMs run the kernel (small kernels like
+	// nw cannot fill the machine); 0 means all.
+	ActiveSMs() int
+	// Next returns the iter-th step of the given warp.
+	Next(sm, warp, iter int) WarpOp
+}
+
+// MemIssue is the memory operation an SM hands to the memory
+// subsystem.
+type MemIssue struct {
+	SM      int
+	Warp    int
+	Sectors []uint64
+	Write   bool
+}
+
+type warpPhase int
+
+const (
+	phaseCompute warpPhase = iota
+	phaseMem
+	phaseBlocked
+)
+
+type warpState struct {
+	iter        int
+	op          WarpOp
+	phase       warpPhase
+	computeLeft int
+	readyAt     uint64
+	outstanding int
+	// lastIssued orders the greedy-then-oldest policy.
+	lastIssued uint64
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id         int
+	gen        Generator
+	issueWidth int
+	warps      []warpState
+	greedy     int // warp the scheduler is currently stuck to
+
+	// Instructions counts issued thread-instructions (warp
+	// instructions x active lanes); IPC is Instructions / cycles.
+	Instructions uint64
+	// Stalls counts cycles in which an issue slot found no ready warp.
+	Stalls uint64
+	// MemOps counts memory operations issued.
+	MemOps uint64
+}
+
+// New builds an SM running gen with the given issue width.
+func New(id int, gen Generator, issueWidth int) *SM {
+	n := gen.WarpsPerSM()
+	sm := &SM{id: id, gen: gen, issueWidth: issueWidth, warps: make([]warpState, n)}
+	for w := range sm.warps {
+		sm.loadOp(w)
+	}
+	return sm
+}
+
+func (s *SM) loadOp(w int) {
+	ws := &s.warps[w]
+	ws.op = s.gen.Next(s.id, w, ws.iter)
+	ws.iter++
+	if ws.op.ActiveLanes <= 0 || ws.op.ActiveLanes > 32 {
+		ws.op.ActiveLanes = 32
+	}
+	if ws.op.ComputeSpacing <= 0 {
+		ws.op.ComputeSpacing = 1
+	}
+	if ws.op.ComputeInstrs <= 0 && len(ws.op.Sectors) == 0 {
+		ws.op.ComputeInstrs = 1 // degenerate op: behave as a no-op instruction
+	}
+	ws.computeLeft = ws.op.ComputeInstrs
+	if ws.computeLeft > 0 {
+		ws.phase = phaseCompute
+	} else {
+		ws.phase = phaseMem
+	}
+}
+
+func (s *SM) ready(w int, now uint64) bool {
+	ws := &s.warps[w]
+	return ws.phase != phaseBlocked && ws.readyAt <= now
+}
+
+// Tick issues up to issueWidth instructions at cycle now. Memory
+// operations are handed to issueMem; loads block the warp until
+// Complete is called once per sector. issueMem returns how many
+// completions the warp must wait for (0 for stores or fully
+// short-circuited loads).
+func (s *SM) Tick(now uint64, issueMem func(MemIssue) int) {
+	for slot := 0; slot < s.issueWidth; slot++ {
+		w := s.pick(now)
+		if w < 0 {
+			s.Stalls++
+			continue
+		}
+		ws := &s.warps[w]
+		ws.lastIssued = now
+		switch ws.phase {
+		case phaseCompute:
+			s.Instructions += uint64(ws.op.ActiveLanes)
+			ws.computeLeft--
+			ws.readyAt = now + uint64(ws.op.ComputeSpacing)
+			if ws.computeLeft == 0 {
+				if len(ws.op.Sectors) > 0 {
+					ws.phase = phaseMem
+				} else {
+					s.loadOp(w)
+				}
+			}
+		case phaseMem:
+			s.Instructions += uint64(ws.op.ActiveLanes)
+			s.MemOps++
+			n := issueMem(MemIssue{SM: s.id, Warp: w, Sectors: ws.op.Sectors, Write: ws.op.Write})
+			if n > 0 {
+				ws.phase = phaseBlocked
+				ws.outstanding = n
+			} else {
+				ws.readyAt = now + 1
+				s.loadOp(w)
+			}
+		}
+	}
+}
+
+// pick implements greedy-then-oldest: keep issuing from the current
+// warp while it is ready; otherwise choose the ready warp that issued
+// least recently.
+func (s *SM) pick(now uint64) int {
+	if s.greedy < len(s.warps) && s.ready(s.greedy, now) {
+		return s.greedy
+	}
+	best := -1
+	for w := range s.warps {
+		if !s.ready(w, now) {
+			continue
+		}
+		if best < 0 || s.warps[w].lastIssued < s.warps[best].lastIssued {
+			best = w
+		}
+	}
+	if best >= 0 {
+		s.greedy = best
+	}
+	return best
+}
+
+// Complete notifies the SM that one outstanding sector of warp w
+// returned. When the last one arrives the warp resumes.
+func (s *SM) Complete(w int, now uint64) {
+	ws := &s.warps[w]
+	if ws.phase != phaseBlocked || ws.outstanding <= 0 {
+		panic("smcore: completion for a warp that is not blocked")
+	}
+	ws.outstanding--
+	if ws.outstanding == 0 {
+		ws.readyAt = now + 1
+		ws.phase = phaseCompute
+		s.loadOp(w)
+	}
+}
+
+// BlockedWarps reports how many warps are waiting on memory.
+func (s *SM) BlockedWarps() int {
+	n := 0
+	for w := range s.warps {
+		if s.warps[w].phase == phaseBlocked {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package smcore
+
+import "testing"
+
+// scriptGen replays a fixed per-warp script of ops.
+type scriptGen struct {
+	warps int
+	sms   int
+	ops   []WarpOp
+}
+
+func (g *scriptGen) Name() string    { return "script" }
+func (g *scriptGen) WarpsPerSM() int { return g.warps }
+func (g *scriptGen) ActiveSMs() int  { return g.sms }
+func (g *scriptGen) Next(sm, warp, iter int) WarpOp {
+	return g.ops[iter%len(g.ops)]
+}
+
+func drainTick(sm *SM, cycles int) {
+	for c := uint64(1); c <= uint64(cycles); c++ {
+		sm.Tick(c, func(MemIssue) int { return 0 })
+	}
+}
+
+func TestComputeOnlyIPC(t *testing.T) {
+	// 1 warp, spacing 1: one instruction per cycle per issue slot used.
+	g := &scriptGen{warps: 1, ops: []WarpOp{{ComputeInstrs: 100, ComputeSpacing: 1, ActiveLanes: 32}}}
+	sm := New(0, g, 2)
+	drainTick(sm, 100)
+	// A single warp with spacing 1 can issue once per cycle.
+	want := uint64(100 * 32)
+	if sm.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", sm.Instructions, want)
+	}
+}
+
+func TestIssueWidthCapsThroughput(t *testing.T) {
+	// Many warps, width 2: exactly 2 warp-instructions per cycle.
+	g := &scriptGen{warps: 8, ops: []WarpOp{{ComputeInstrs: 1000, ComputeSpacing: 1, ActiveLanes: 32}}}
+	sm := New(0, g, 2)
+	drainTick(sm, 50)
+	want := uint64(50 * 2 * 32)
+	if sm.Instructions != want {
+		t.Fatalf("instructions = %d, want %d", sm.Instructions, want)
+	}
+}
+
+func TestSpacingThrottles(t *testing.T) {
+	// 1 warp with spacing 4: one instruction every 4 cycles.
+	g := &scriptGen{warps: 1, ops: []WarpOp{{ComputeInstrs: 1000, ComputeSpacing: 4, ActiveLanes: 32}}}
+	sm := New(0, g, 2)
+	drainTick(sm, 100)
+	want := uint64(100 / 4 * 32)
+	if sm.Instructions < want-32 || sm.Instructions > want+32 {
+		t.Fatalf("instructions = %d, want ~%d", sm.Instructions, want)
+	}
+}
+
+func TestActiveLanesScaleIPC(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{{ComputeInstrs: 10, ComputeSpacing: 1, ActiveLanes: 8}}}
+	sm := New(0, g, 2)
+	drainTick(sm, 10)
+	if sm.Instructions != 10*8 {
+		t.Fatalf("instructions = %d, want %d", sm.Instructions, 10*8)
+	}
+}
+
+func TestLoadBlocksWarp(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{
+		{ComputeInstrs: 1, ComputeSpacing: 1, Sectors: []uint64{0, 32}, ActiveLanes: 32},
+	}}
+	sm := New(0, g, 2)
+	var issued []MemIssue
+	issue := func(mi MemIssue) int {
+		issued = append(issued, mi)
+		return len(mi.Sectors)
+	}
+	sm.Tick(1, issue) // compute
+	sm.Tick(2, issue) // mem -> blocked
+	if len(issued) != 1 || len(issued[0].Sectors) != 2 {
+		t.Fatalf("mem issue: %+v", issued)
+	}
+	if sm.BlockedWarps() != 1 {
+		t.Fatal("warp should be blocked")
+	}
+	// No further issue while blocked.
+	before := sm.Instructions
+	sm.Tick(3, issue)
+	if sm.Instructions != before {
+		t.Fatal("blocked warp issued")
+	}
+	// One completion is not enough (two sectors outstanding).
+	sm.Complete(0, 3)
+	if sm.BlockedWarps() != 1 {
+		t.Fatal("warp resumed too early")
+	}
+	sm.Complete(0, 4)
+	if sm.BlockedWarps() != 0 {
+		t.Fatal("warp did not resume")
+	}
+	sm.Tick(6, issue)
+	if sm.Instructions == before {
+		t.Fatal("resumed warp did not issue")
+	}
+}
+
+func TestStoreDoesNotBlock(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{
+		{ComputeInstrs: 1, ComputeSpacing: 1, Sectors: []uint64{0}, Write: true, ActiveLanes: 32},
+	}}
+	sm := New(0, g, 2)
+	issue := func(mi MemIssue) int {
+		if !mi.Write {
+			t.Fatal("expected store")
+		}
+		return 0
+	}
+	for c := uint64(1); c <= 10; c++ {
+		sm.Tick(c, issue)
+	}
+	if sm.BlockedWarps() != 0 {
+		t.Fatal("store blocked the warp")
+	}
+	if sm.MemOps < 4 {
+		t.Fatalf("too few stores issued: %d", sm.MemOps)
+	}
+}
+
+// TestLatencyTolerance is the paper's Section VI-A property: with
+// enough warps, extra memory latency does not reduce throughput.
+func TestLatencyTolerance(t *testing.T) {
+	run := func(warps, compute int, latency uint64) uint64 {
+		g := &scriptGen{warps: warps, ops: []WarpOp{
+			{ComputeInstrs: compute, ComputeSpacing: 1, Sectors: []uint64{0}, ActiveLanes: 32},
+		}}
+		sm := New(0, g, 2)
+		type pend struct {
+			warp int
+			at   uint64
+		}
+		var pending []pend
+		for c := uint64(1); c <= 3000; c++ {
+			var next []pend
+			for _, p := range pending {
+				if p.at <= c {
+					sm.Complete(p.warp, c)
+				} else {
+					next = append(next, p)
+				}
+			}
+			pending = next
+			sm.Tick(c, func(mi MemIssue) int {
+				pending = append(pending, pend{warp: mi.Warp, at: c + latency})
+				return 1
+			})
+		}
+		return sm.Instructions
+	}
+	// Few warps with little compute: quadrupling latency hurts.
+	few40, few160 := run(2, 8, 40), run(2, 8, 160)
+	if float64(few160) > 0.8*float64(few40) {
+		t.Fatalf("2 warps should be latency-sensitive: %d vs %d", few40, few160)
+	}
+	// Many warps with enough work in flight: the same latency increase
+	// is nearly free (warps x instructions per round must exceed the
+	// issue rate x latency for full tolerance).
+	many40, many160 := run(48, 30, 40), run(48, 30, 160)
+	if float64(many160) < 0.85*float64(many40) {
+		t.Fatalf("48 warps should tolerate latency: %d vs %d", many40, many160)
+	}
+}
+
+func TestGreedyThenOldest(t *testing.T) {
+	// Two warps; the scheduler should stick with one warp while it is
+	// ready rather than alternating.
+	g := &scriptGen{warps: 2, ops: []WarpOp{{ComputeInstrs: 4, ComputeSpacing: 2, ActiveLanes: 32}}}
+	sm := New(0, g, 1)
+	sm.Tick(1, func(MemIssue) int { return 0 })
+	first := sm.greedy
+	sm.Tick(2, func(MemIssue) int { return 0 }) // greedy not ready (spacing 2) -> other warp
+	if sm.greedy == first {
+		t.Fatal("scheduler did not fall back to the other warp")
+	}
+}
+
+func TestCompletePanicsWhenNotBlocked(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{{ComputeInstrs: 1, ComputeSpacing: 1, ActiveLanes: 32}}}
+	sm := New(0, g, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	sm.Complete(0, 1)
+}
+
+func TestDegenerateOpDoesNotSpin(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{{}}} // zero everything
+	sm := New(0, g, 1)
+	drainTick(sm, 100) // must not hang or panic
+	if sm.Instructions == 0 {
+		t.Fatal("degenerate ops issued nothing")
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	g := &scriptGen{warps: 1, ops: []WarpOp{{ComputeInstrs: 1, ComputeSpacing: 10, ActiveLanes: 32}}}
+	sm := New(0, g, 2)
+	drainTick(sm, 100)
+	if sm.Stalls == 0 {
+		t.Fatal("expected stalled issue slots with a single slow warp")
+	}
+}

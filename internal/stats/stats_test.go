@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio(_, 0) != 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4)")
+	}
+	if Percent(1, 4) != 25 {
+		t.Error("Percent(1,4)")
+	}
+}
+
+func TestReuseColdOnly(t *testing.T) {
+	p := NewReuseProfiler()
+	for i := uint64(0); i < 10; i++ {
+		if _, ok := p.Touch(i); ok {
+			t.Fatalf("first touch of %d reported a distance", i)
+		}
+	}
+	if p.Cold != 10 || p.Total != 10 {
+		t.Fatalf("cold=%d total=%d", p.Cold, p.Total)
+	}
+}
+
+func TestReuseDistanceZero(t *testing.T) {
+	p := NewReuseProfiler()
+	p.Touch(1)
+	d, ok := p.Touch(1)
+	if !ok || d != 0 {
+		t.Fatalf("immediate re-touch: d=%d ok=%v", d, ok)
+	}
+	if p.Hist[0] != 1 {
+		t.Fatalf("bucket 0 = %d", p.Hist[0])
+	}
+}
+
+func TestReuseDistanceDistinct(t *testing.T) {
+	p := NewReuseProfiler()
+	// A, B, C, B, A: reuse(B)=1 (C), reuse(A)=2 (B, C).
+	p.Touch('A')
+	p.Touch('B')
+	p.Touch('C')
+	if d, _ := p.Touch('B'); d != 1 {
+		t.Fatalf("reuse(B) = %d, want 1", d)
+	}
+	if d, _ := p.Touch('A'); d != 2 {
+		t.Fatalf("reuse(A) = %d, want 2", d)
+	}
+}
+
+// TestReuseCountsDistinctNotTotal: repeated touches of the same
+// intervening line count once (stack distance, not time distance).
+func TestReuseCountsDistinctNotTotal(t *testing.T) {
+	p := NewReuseProfiler()
+	p.Touch('A')
+	for i := 0; i < 5; i++ {
+		p.Touch('B')
+	}
+	if d, _ := p.Touch('A'); d != 1 {
+		t.Fatalf("reuse(A) = %d, want 1 (B repeated)", d)
+	}
+}
+
+func TestReuseStreamingPattern(t *testing.T) {
+	// Streaming: 4 sequential touches per line, like sectored accesses
+	// to the same metadata line — reuse distance 0 dominates.
+	p := NewReuseProfiler()
+	for line := uint64(0); line < 100; line++ {
+		for s := 0; s < 4; s++ {
+			p.Touch(line)
+		}
+	}
+	if p.Hist[0] != 300 {
+		t.Fatalf("bucket 0 = %d, want 300", p.Hist[0])
+	}
+	if p.Cold != 100 {
+		t.Fatalf("cold = %d, want 100", p.Cold)
+	}
+}
+
+func TestReuseBucketBoundaries(t *testing.T) {
+	mk := func(distinct int) uint64 {
+		p := NewReuseProfiler()
+		p.Touch(^uint64(0))
+		for i := 0; i < distinct; i++ {
+			p.Touch(uint64(i))
+		}
+		d, ok := p.Touch(^uint64(0))
+		if !ok {
+			t.Fatal("not a reuse")
+		}
+		return d
+	}
+	if d := mk(8); d != 8 {
+		t.Fatalf("d=%d", d)
+	}
+	cases := []struct {
+		distinct int
+		bucket   int
+	}{
+		{0, 0}, {1, 1}, {8, 1}, {9, 2}, {64, 2}, {65, 3}, {512, 3}, {513, 4},
+	}
+	for _, tc := range cases {
+		p := NewReuseProfiler()
+		p.Touch(^uint64(0))
+		for i := 0; i < tc.distinct; i++ {
+			p.Touch(uint64(i))
+		}
+		p.Touch(^uint64(0))
+		if p.Hist[tc.bucket] != 1 {
+			t.Errorf("distinct=%d: bucket %d not incremented (hist=%v)", tc.distinct, tc.bucket, p.Hist)
+		}
+	}
+}
+
+func TestReuseFractions(t *testing.T) {
+	p := NewReuseProfiler()
+	if f := p.Fractions(); f[0] != 0 {
+		t.Fatal("empty profiler fractions should be zero")
+	}
+	p.Touch(1)
+	p.Touch(1)
+	p.Touch(1)
+	f := p.Fractions()
+	if f[0] != 1.0 {
+		t.Fatalf("fractions[0] = %f", f[0])
+	}
+}
+
+func TestReuseString(t *testing.T) {
+	p := NewReuseProfiler()
+	p.Touch(1)
+	p.Touch(1)
+	s := p.String()
+	for _, want := range []string{"0:1", "cold:1", "total:2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestReuseAgainstBruteForce cross-checks the Fenwick implementation
+// against a naive O(n^2) stack-distance computation on a random trace.
+func TestReuseAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]uint64, 600)
+	for i := range trace {
+		trace[i] = uint64(rng.Intn(40))
+	}
+	p := NewReuseProfiler()
+	for i, line := range trace {
+		got, ok := p.Touch(line)
+		// Brute force: distinct lines since previous occurrence.
+		last := -1
+		for j := i - 1; j >= 0; j-- {
+			if trace[j] == line {
+				last = j
+				break
+			}
+		}
+		if last == -1 {
+			if ok {
+				t.Fatalf("pos %d: cold touch reported distance", i)
+			}
+			continue
+		}
+		distinct := map[uint64]bool{}
+		for j := last + 1; j < i; j++ {
+			distinct[trace[j]] = true
+		}
+		if !ok || got != uint64(len(distinct)) {
+			t.Fatalf("pos %d line %d: got %d (ok=%v), want %d", i, line, got, ok, len(distinct))
+		}
+	}
+}
+
+func BenchmarkReuseProfiler(b *testing.B) {
+	p := NewReuseProfiler()
+	for i := 0; i < b.N; i++ {
+		p.Touch(uint64(i % 4096))
+	}
+}

@@ -1,0 +1,324 @@
+// Package trace provides synthetic workload generators standing in
+// for the paper's Rodinia / Parboil / Polybench benchmarks (Table IV).
+//
+// Each generator reproduces the *memory behaviour class* that drives
+// every experiment in the paper: access pattern (streaming, stencil,
+// strided, gather, tree traversal, blocked/compute-resident), arithmetic
+// intensity, SIMT occupancy, coalescing degree, and working-set size —
+// calibrated so the baseline simulation lands in the paper's
+// bandwidth-utilization class (non / medium / memory-intensive) with
+// an IPC of comparable magnitude. All generators are deterministic:
+// irregular patterns derive addresses from a splitmix64 hash of
+// (sm, warp, iter), never from a global RNG.
+package trace
+
+import "gpusecmem/internal/smcore"
+
+// SectorSize is the coalesced access granularity (32 B).
+const SectorSize = 32
+
+// LineSize is the 128 B cache-line size.
+const LineSize = 128
+
+// splitmix64 is the deterministic hash behind all irregular patterns.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash3 mixes the (sm, warp, iter) coordinates.
+func hash3(sm, warp, iter int) uint64 {
+	return splitmix64(uint64(sm)<<40 ^ uint64(warp)<<20 ^ uint64(iter))
+}
+
+// sectors builds n consecutive sector addresses starting at base,
+// each aligned down to SectorSize.
+func sectors(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	a := base / SectorSize * SectorSize
+	for i := range out {
+		out[i] = a + uint64(i)*SectorSize
+	}
+	return out
+}
+
+// Config parameterizes a synthetic kernel. The pattern-specific
+// fields are documented on each pattern constructor.
+type Config struct {
+	Name       string
+	Warps      int // warps per SM
+	SMs        int // 0 = all SMs
+	Compute    int // compute instructions per step
+	Spacing    int // issue spacing of compute instructions
+	Lanes      int // active SIMT lanes
+	SectorsPer int // coalesced sectors per memory op
+	WriteEvery int // every n-th memory op is a store (0 = never)
+	// WorkingSet is the per-benchmark footprint in bytes; patterns
+	// wrap within it.
+	WorkingSet uint64
+	// Streams is the number of concurrently traversed arrays
+	// (multi-array kernels like fdtd2d, lbm).
+	Streams int
+	// Reuse, for patterns with temporal locality, is how many times a
+	// tile is re-touched before moving on.
+	Reuse int
+}
+
+// kernel is the shared implementation: a Config plus a pattern
+// function computing the base address of a step.
+type kernel struct {
+	cfg  Config
+	base func(k *kernel, sm, warp, iter int) uint64
+}
+
+var _ smcore.Generator = (*kernel)(nil)
+
+func (k *kernel) Name() string    { return k.cfg.Name }
+func (k *kernel) WarpsPerSM() int { return k.cfg.Warps }
+func (k *kernel) ActiveSMs() int  { return k.cfg.SMs }
+
+func (k *kernel) Next(sm, warp, iter int) smcore.WarpOp {
+	op := smcore.WarpOp{
+		ComputeInstrs:  k.cfg.Compute,
+		ComputeSpacing: k.cfg.Spacing,
+		ActiveLanes:    k.cfg.Lanes,
+	}
+	base := k.base(k, sm, warp, iter) % k.cfg.WorkingSet
+	op.Sectors = sectors(base, k.cfg.SectorsPer)
+	if k.cfg.WriteEvery > 0 && iter%k.cfg.WriteEvery == k.cfg.WriteEvery-1 {
+		op.Write = true
+	}
+	return op
+}
+
+// totalWarps is the grid width of a kernel: resident warps across all
+// active SMs. Grid-stride patterns advance by this per step so that
+// concurrently running warps touch *adjacent* lines — the canonical
+// coalesced GPU layout, and the reason one metadata line is shared by
+// many in-flight requests (Section V-B).
+func (k *kernel) totalWarps() uint64 {
+	smCount := k.cfg.SMs
+	if smCount <= 0 {
+		smCount = 80
+	}
+	return uint64(smCount * k.cfg.Warps)
+}
+
+// blockWarps is how many warps share one thread block's data chunk.
+// Warps inside a block access adjacent lines (coalesced bursts, the
+// Section V-B pattern); different blocks stream chunks spread across
+// the whole array, which is what keeps the *concurrent* metadata
+// working set far larger than the 2 KB metadata caches — the paper's
+// workloads thrash them even with perfect per-burst merging.
+const blockWarps = 32
+
+// chunkOf splits an array of arrBytes into one contiguous chunk per
+// thread block and returns this warp's block, lane, and chunk size.
+func (k *kernel) chunkOf(warpID uint64, arrBytes uint64) (block, lane, chunk uint64) {
+	block = warpID / blockWarps
+	lane = warpID % blockWarps
+	numBlocks := k.totalWarps() / blockWarps
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	chunk = arrBytes / numBlocks / LineSize * LineSize
+	if chunk == 0 {
+		chunk = LineSize
+	}
+	return block, lane, chunk
+}
+
+// streamBase: block-chunked streaming — the warps of a block sweep
+// their chunk together in grid-stride order, while the blocks
+// themselves are spread across the array. Multi-stream kernels
+// round-robin Streams arrays at distinct offsets.
+func streamBase(k *kernel, sm, warp, iter int) uint64 {
+	streams := k.cfg.Streams
+	if streams <= 0 {
+		streams = 1
+	}
+	stride := uint64(k.cfg.SectorsPer) * SectorSize
+	warpID := uint64(sm*k.cfg.Warps + warp)
+	s := uint64(iter % streams)
+	step := uint64(iter / streams)
+	arr := k.cfg.WorkingSet / uint64(streams)
+	block, lane, chunk := k.chunkOf(warpID, arr)
+	pos := (lane + step*blockWarps) * stride % chunk
+	return s*arr + block*chunk + pos
+}
+
+// stencilBase: block-chunked 2D row-major neighbourhood; each tile is
+// touched Reuse times with row offsets (same row, row above, row
+// below) within the block's chunk.
+func stencilBase(k *kernel, sm, warp, iter int) uint64 {
+	reuse := k.cfg.Reuse
+	if reuse <= 0 {
+		reuse = 1
+	}
+	tile := uint64(iter / reuse)
+	neighbour := iter % reuse
+	warpID := uint64(sm*k.cfg.Warps + warp)
+	stride := uint64(k.cfg.SectorsPer) * SectorSize
+	block, lane, chunk := k.chunkOf(warpID, k.cfg.WorkingSet)
+	rowBytes := chunk / 4 / LineSize * LineSize
+	base := (lane + tile*blockWarps) * stride % chunk
+	switch neighbour % 3 {
+	case 1:
+		base = (base + rowBytes) % chunk
+	case 2:
+		base = (base + 2*rowBytes) % chunk
+	}
+	return block*chunk + base
+}
+
+// gatherBase: hash-random addresses over the working set (kmeans
+// membership, bfs frontiers).
+func gatherBase(k *kernel, sm, warp, iter int) uint64 {
+	return hash3(sm, warp, iter)
+}
+
+// treeBase: root-biased random descent — early levels (small
+// addresses) are re-touched constantly and cache well; deep levels are
+// effectively random (b+tree).
+func treeBase(k *kernel, sm, warp, iter int) uint64 {
+	h := hash3(sm, warp, iter)
+	depth := iter % 8 // descend 8 levels then restart
+	// Level d occupies a 16x larger region than level d-1.
+	levelSpan := k.cfg.WorkingSet >> (2 * (7 - depth))
+	if levelSpan == 0 {
+		levelSpan = LineSize
+	}
+	return h % levelSpan
+}
+
+// blockBase: a tiny per-warp tile reused heavily (compute-bound
+// kernels whose data lives in L1). The Reuse field bounds the tile to
+// Reuse lines so an SM's resident warps fit its L1.
+func blockBase(k *kernel, sm, warp, iter int) uint64 {
+	lines := k.cfg.Reuse
+	if lines <= 0 {
+		lines = 8
+	}
+	warpID := uint64(sm*k.cfg.Warps + warp)
+	tile := uint64(lines) * LineSize * 2
+	return warpID*tile + uint64(iter%lines)*LineSize
+}
+
+// New constructs the named benchmark generator. The names follow the
+// paper's Table IV. New panics on an unknown name; use Names for the
+// catalogue.
+func New(name string) smcore.Generator {
+	cfg, ok := catalogue[name]
+	if !ok {
+		panic("trace: unknown benchmark " + name)
+	}
+	return &kernel{cfg: cfg.Config, base: patterns[cfg.patternName]}
+}
+
+// Names lists the benchmarks in the paper's Table IV order.
+func Names() []string {
+	return []string{
+		"heartwall", "lavaMD", "nw", "b+tree",
+		"backprop", "cfd", "dwt2d", "kmeans", "bfs",
+		"srad_v2", "streamcluster", "2Dconvolution", "fdtd2d", "lbm",
+	}
+}
+
+// Class is the paper's bandwidth-utilization categorization.
+type Class int
+
+const (
+	// NonIntensive: < 20% of peak DRAM bandwidth.
+	NonIntensive Class = iota
+	// MediumIntensive: 20%..50%.
+	MediumIntensive
+	// MemoryIntensive: > 50%.
+	MemoryIntensive
+)
+
+func (c Class) String() string {
+	switch c {
+	case NonIntensive:
+		return "non-memory-intensive"
+	case MediumIntensive:
+		return "medium-memory-intensive"
+	}
+	return "memory-intensive"
+}
+
+// PaperClass returns the paper's class for a benchmark (Table IV).
+func PaperClass(name string) Class {
+	switch name {
+	case "heartwall", "lavaMD", "nw", "b+tree":
+		return NonIntensive
+	case "backprop", "cfd", "dwt2d", "kmeans", "bfs":
+		return MediumIntensive
+	default:
+		return MemoryIntensive
+	}
+}
+
+// PaperIPC returns the paper's reported baseline IPC (Table IV).
+func PaperIPC(name string) float64 {
+	return map[string]float64{
+		"heartwall": 1195.37, "lavaMD": 4615.23, "nw": 23.90, "b+tree": 2768.61,
+		"backprop": 3067.61, "cfd": 1076.98, "dwt2d": 784.70, "kmeans": 97.04,
+		"bfs": 699.51, "srad_v2": 3306.82, "streamcluster": 1178.18,
+		"2Dconvolution": 2487.22, "fdtd2d": 1773.95, "lbm": 552.12,
+	}[name]
+}
+
+type catalogueEntry struct {
+	Config
+	patternName string
+}
+
+var patterns = map[string]func(k *kernel, sm, warp, iter int) uint64{
+	"stream":  streamBase,
+	"stencil": stencilBase,
+	"gather":  gatherBase,
+	"tree":    treeBase,
+	"block":   blockBase,
+}
+
+const mb = 1 << 20
+
+// catalogue holds the per-benchmark calibration. Working sets are per
+// the whole GPU; the simulator maps them across partitions.
+var catalogue = map[string]catalogueEntry{
+	// --- non memory intensive ---
+	"heartwall": {Config{Name: "heartwall", Warps: 16, Compute: 24, Spacing: 32,
+		Lanes: 32, SectorsPer: 2, WorkingSet: 12 * mb, Reuse: 8}, "block"},
+	"lavaMD": {Config{Name: "lavaMD", Warps: 16, Compute: 40, Spacing: 1,
+		Lanes: 30, SectorsPer: 2, WorkingSet: 16 * mb, Reuse: 8}, "block"},
+	"nw": {Config{Name: "nw", Warps: 2, SMs: 8, Compute: 4, Spacing: 2,
+		Lanes: 16, SectorsPer: 2, WorkingSet: 64 * mb}, "stream"},
+	"b+tree": {Config{Name: "b+tree", Warps: 24, Compute: 20, Spacing: 1,
+		Lanes: 20, SectorsPer: 1, WorkingSet: 64 * mb}, "tree"},
+
+	// --- medium memory intensive ---
+	"backprop": {Config{Name: "backprop", Warps: 32, Compute: 44, Spacing: 24,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 4, WorkingSet: 256 * mb, Streams: 2}, "stream"},
+	"cfd": {Config{Name: "cfd", Warps: 24, Compute: 11, Spacing: 48,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 6, WorkingSet: 48 * mb, Streams: 4}, "stream"},
+	"dwt2d": {Config{Name: "dwt2d", Warps: 16, Compute: 8, Spacing: 48,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 3, WorkingSet: 32 * mb, Streams: 2}, "stream"},
+	"kmeans": {Config{Name: "kmeans", Warps: 8, Compute: 0, Spacing: 1,
+		Lanes: 32, SectorsPer: 4, WorkingSet: 256 * mb}, "gather"},
+	"bfs": {Config{Name: "bfs", Warps: 12, Compute: 12, Spacing: 22,
+		Lanes: 16, SectorsPer: 4, WriteEvery: 8, WorkingSet: 64 * mb}, "gather"},
+
+	// --- memory intensive ---
+	"srad_v2": {Config{Name: "srad_v2", Warps: 32, Compute: 20, Spacing: 20,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 5, WorkingSet: 512 * mb, Streams: 2}, "stream"},
+	"streamcluster": {Config{Name: "streamcluster", Warps: 8, Compute: 7, Spacing: 1,
+		Lanes: 32, SectorsPer: 4, WorkingSet: 512 * mb}, "stream"},
+	"2Dconvolution": {Config{Name: "2Dconvolution", Warps: 32, Compute: 24, Spacing: 28,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 9, WorkingSet: 512 * mb, Reuse: 3}, "stencil"},
+	"fdtd2d": {Config{Name: "fdtd2d", Warps: 32, Compute: 10, Spacing: 4,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 4, WorkingSet: 512 * mb, Streams: 3}, "stream"},
+	"lbm": {Config{Name: "lbm", Warps: 32, Compute: 4, Spacing: 2,
+		Lanes: 32, SectorsPer: 4, WriteEvery: 2, WorkingSet: 512 * mb, Streams: 4}, "stream"},
+}

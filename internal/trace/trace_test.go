@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogueComplete(t *testing.T) {
+	if len(Names()) != 14 {
+		t.Fatalf("Table IV has 14 benchmarks, got %d", len(Names()))
+	}
+	for _, n := range Names() {
+		g := New(n)
+		if g.Name() != n {
+			t.Errorf("%s: Name() = %s", n, g.Name())
+		}
+		if g.WarpsPerSM() <= 0 {
+			t.Errorf("%s: no warps", n)
+		}
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New("no-such-benchmark")
+}
+
+// TestDeterminism: generators must be pure functions of (sm, warp,
+// iter) — the simulator and experiments rely on reproducible runs.
+func TestDeterminism(t *testing.T) {
+	for _, n := range Names() {
+		g1, g2 := New(n), New(n)
+		for iter := 0; iter < 50; iter++ {
+			a := g1.Next(3, 5, iter)
+			b := g2.Next(3, 5, iter)
+			if len(a.Sectors) != len(b.Sectors) || a.Write != b.Write {
+				t.Fatalf("%s: nondeterministic op at iter %d", n, iter)
+			}
+			for i := range a.Sectors {
+				if a.Sectors[i] != b.Sectors[i] {
+					t.Fatalf("%s: nondeterministic address at iter %d", n, iter)
+				}
+			}
+		}
+	}
+}
+
+// TestAddressesInWorkingSet: all generated sectors stay inside the
+// benchmark's declared footprint and are sector-aligned.
+func TestAddressesInWorkingSet(t *testing.T) {
+	for _, n := range Names() {
+		g := New(n)
+		ws := catalogue[n].WorkingSet
+		for sm := 0; sm < 80; sm += 13 {
+			for w := 0; w < g.WarpsPerSM(); w += 3 {
+				for iter := 0; iter < 40; iter++ {
+					op := g.Next(sm, w, iter)
+					for _, a := range op.Sectors {
+						if a%SectorSize != 0 {
+							t.Fatalf("%s: unaligned sector %#x", n, a)
+						}
+						if a >= ws+uint64(len(op.Sectors))*SectorSize {
+							t.Fatalf("%s: sector %#x beyond working set %#x", n, a, ws)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOpsWellFormed(t *testing.T) {
+	for _, n := range Names() {
+		g := New(n)
+		sawMem := false
+		for iter := 0; iter < 30; iter++ {
+			op := g.Next(0, 0, iter)
+			if op.ActiveLanes < 1 || op.ActiveLanes > 32 {
+				t.Fatalf("%s: lanes %d", n, op.ActiveLanes)
+			}
+			if len(op.Sectors) > 0 {
+				sawMem = true
+			}
+		}
+		if !sawMem {
+			t.Fatalf("%s: never issues memory ops", n)
+		}
+	}
+}
+
+// TestStreamingIsSequential: the stream pattern's consecutive steps of
+// one warp advance by the grid stride within its chunk.
+func TestStreamingIsSequential(t *testing.T) {
+	g := New("streamcluster") // single stream
+	a0 := g.Next(0, 0, 0).Sectors[0]
+	a1 := g.Next(0, 0, 1).Sectors[0]
+	want := uint64(blockWarps) * uint64(catalogue["streamcluster"].SectorsPer) * SectorSize
+	if a1-a0 != want {
+		t.Fatalf("stream stride = %d, want %d", a1-a0, want)
+	}
+}
+
+// TestBlockNeighboursAdjacent: warps in the same block touch adjacent
+// line-sized positions at the same step (coalesced across the block).
+func TestBlockNeighboursAdjacent(t *testing.T) {
+	g := New("streamcluster")
+	stride := uint64(catalogue["streamcluster"].SectorsPer) * SectorSize
+	a := g.Next(0, 0, 0).Sectors[0]
+	b := g.Next(0, 1, 0).Sectors[0]
+	if b-a != stride {
+		t.Fatalf("block lanes not adjacent: %#x vs %#x", a, b)
+	}
+}
+
+// TestBlocksAreSpread: different blocks work on distant chunks — the
+// property that makes the concurrent metadata working set large.
+func TestBlocksAreSpread(t *testing.T) {
+	g := New("streamcluster")
+	a := g.Next(0, 0, 0).Sectors[0]  // block 0
+	b := g.Next(16, 0, 0).Sectors[0] // a later block (blocks span 32 warps)
+	if diff := int64(b) - int64(a); diff < 64*1024 && diff > -64*1024 {
+		t.Fatalf("blocks too close: %#x vs %#x", a, b)
+	}
+}
+
+// TestGatherIsSpread: the gather pattern produces addresses spanning
+// most of the working set.
+func TestGatherIsSpread(t *testing.T) {
+	g := New("kmeans")
+	ws := catalogue["kmeans"].WorkingSet
+	var lo, hi uint64 = ^uint64(0), 0
+	for iter := 0; iter < 200; iter++ {
+		a := g.Next(0, 0, iter).Sectors[0]
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	if hi-lo < ws/4 {
+		t.Fatalf("gather span too small: [%#x, %#x] of %#x", lo, hi, ws)
+	}
+}
+
+// TestTreeIsRootBiased: shallow tree levels produce small addresses
+// far more often than deep levels, so the hot top of the tree caches.
+func TestTreeIsRootBiased(t *testing.T) {
+	g := New("b+tree")
+	small := 0
+	total := 0
+	for w := 0; w < 8; w++ {
+		for iter := 0; iter < 80; iter++ {
+			a := g.Next(0, w, iter).Sectors[0]
+			total++
+			if a < 1<<20 {
+				small++
+			}
+		}
+	}
+	if small*3 < total {
+		t.Fatalf("tree pattern not root-biased: %d/%d small addresses", small, total)
+	}
+}
+
+// TestBlockPatternTiny: compute-bound kernels touch a per-warp tile
+// small enough for 80 SMs' L1s.
+func TestBlockPatternTiny(t *testing.T) {
+	g := New("lavaMD")
+	seen := map[uint64]bool{}
+	for iter := 0; iter < 500; iter++ {
+		seen[g.Next(2, 3, iter).Sectors[0]/LineSize] = true
+	}
+	if len(seen) > 16 {
+		t.Fatalf("lavaMD warp touches %d lines, want a small L1-resident tile", len(seen))
+	}
+}
+
+func TestWriteMix(t *testing.T) {
+	g := New("lbm") // WriteEvery: 2
+	writes := 0
+	for iter := 0; iter < 100; iter++ {
+		if g.Next(0, 0, iter).Write {
+			writes++
+		}
+	}
+	if writes != 50 {
+		t.Fatalf("lbm writes = %d/100, want 50", writes)
+	}
+	g = New("streamcluster") // read-only
+	for iter := 0; iter < 100; iter++ {
+		if g.Next(0, 0, iter).Write {
+			t.Fatal("streamcluster should be read-only")
+		}
+	}
+}
+
+func TestClassesAndIPC(t *testing.T) {
+	for _, n := range Names() {
+		if PaperIPC(n) <= 0 {
+			t.Errorf("%s: missing paper IPC", n)
+		}
+	}
+	if PaperClass("lbm") != MemoryIntensive || PaperClass("nw") != NonIntensive || PaperClass("cfd") != MediumIntensive {
+		t.Error("paper classes wrong")
+	}
+	for _, c := range []Class{NonIntensive, MediumIntensive, MemoryIntensive} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+// TestSplitmixUniformity: a weak property check that the hash spreads
+// inputs (no collisions over a small dense range).
+func TestSplitmixUniformity(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		return splitmix64(uint64(a)) != splitmix64(uint64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectorsHelper(t *testing.T) {
+	s := sectors(100, 3) // aligns down to 96
+	want := []uint64{96, 128, 160}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sectors = %v, want %v", s, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gpusecmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchemeNames lists the named secure-memory design points of Tables V
+// and VIII, resolvable with ConfigForScheme.
+func SchemeNames() []string {
+	names := make([]string, 0, len(schemes))
+	for n := range schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var schemes = map[string]func() Config{
+	// baseline: no secure memory.
+	"baseline": BaselineConfig,
+	// ctr: counter-mode encryption, no integrity metadata.
+	"ctr": func() Config {
+		cfg := SecureMemConfig()
+		cfg.Secure.MAC = false
+		cfg.Secure.Tree = false
+		return cfg
+	},
+	// ctr_bmt: counter-mode encryption with the BMT protecting
+	// counters, no data MACs.
+	"ctr_bmt": func() Config {
+		cfg := SecureMemConfig()
+		cfg.Secure.MAC = false
+		return cfg
+	},
+	// ctr_mac_bmt: the full counter-mode secure memory (alias:
+	// "secure").
+	"ctr_mac_bmt": SecureMemConfig,
+	"secure":      SecureMemConfig,
+	// secure_nomshr: the paper's Fig 3 secureMem (no metadata MSHRs).
+	"secure_nomshr": func() Config {
+		cfg := SecureMemConfig()
+		cfg.Secure.MetaMSHRs = 0
+		return cfg
+	},
+	// direct: direct encryption only.
+	"direct": func() Config { return DirectMemConfig(40, false, false) },
+	// direct_mac: direct encryption with sector MACs (6KB MAC cache).
+	"direct_mac": func() Config { return DirectMemConfig(40, true, false) },
+	// direct_mac_mt: direct encryption with MACs and the Merkle tree
+	// (3KB + 3KB caches).
+	"direct_mac_mt": func() Config { return DirectMemConfig(40, true, true) },
+	// unified: the full counter-mode design with a unified 6KB
+	// metadata cache.
+	"unified": func() Config {
+		cfg := SecureMemConfig()
+		cfg.Secure.Unified = true
+		return cfg
+	},
+}
+
+// ConfigForScheme resolves a named design point (see SchemeNames).
+func ConfigForScheme(name string) (Config, error) {
+	mk, ok := schemes[name]
+	if !ok {
+		return Config{}, fmt.Errorf("gpusecmem: unknown scheme %q (known: %v)", name, SchemeNames())
+	}
+	return mk(), nil
+}

@@ -1,0 +1,66 @@
+package gpusecmem
+
+import "testing"
+
+func TestSchemeNamesStable(t *testing.T) {
+	names := SchemeNames()
+	if len(names) != 10 {
+		t.Fatalf("schemes = %v", names)
+	}
+	for _, n := range names {
+		cfg, err := ConfigForScheme(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: invalid config: %v", n, err)
+		}
+	}
+}
+
+func TestConfigForSchemeUnknown(t *testing.T) {
+	if _, err := ConfigForScheme("nonsense"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSchemeSemantics(t *testing.T) {
+	cases := []struct {
+		name       string
+		enc        int
+		mac, tree  bool
+		metaCache  int
+		metaMSHRs  int
+		unifiedSet bool
+	}{
+		{"baseline", int(EncNone), false, false, 2048, 64, false},
+		{"ctr", int(EncCounter), false, false, 2048, 64, false},
+		{"ctr_bmt", int(EncCounter), false, true, 2048, 64, false},
+		{"ctr_mac_bmt", int(EncCounter), true, true, 2048, 64, false},
+		{"secure", int(EncCounter), true, true, 2048, 64, false},
+		{"secure_nomshr", int(EncCounter), true, true, 2048, 0, false},
+		{"direct", int(EncDirect), false, false, 2048, 64, false},
+		{"direct_mac", int(EncDirect), true, false, 6144, 64, false},
+		{"direct_mac_mt", int(EncDirect), true, true, 3072, 64, false},
+		{"unified", int(EncCounter), true, true, 2048, 64, true},
+	}
+	for _, tc := range cases {
+		cfg, err := ConfigForScheme(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sc := cfg.Secure
+		if int(sc.Encryption) != tc.enc || sc.MAC != tc.mac || sc.Tree != tc.tree {
+			t.Errorf("%s: enc=%v mac=%v tree=%v", tc.name, sc.Encryption, sc.MAC, sc.Tree)
+		}
+		if sc.MetaCacheBytes != tc.metaCache {
+			t.Errorf("%s: meta cache %d, want %d", tc.name, sc.MetaCacheBytes, tc.metaCache)
+		}
+		if sc.MetaMSHRs != tc.metaMSHRs {
+			t.Errorf("%s: MSHRs %d, want %d", tc.name, sc.MetaMSHRs, tc.metaMSHRs)
+		}
+		if sc.Unified != tc.unifiedSet {
+			t.Errorf("%s: unified %v", tc.name, sc.Unified)
+		}
+	}
+}
