@@ -1,0 +1,34 @@
+# Development entry points. `make verify` is the tier-1 gate — CI and
+# contributors run the same thing.
+
+GO ?= go
+
+.PHONY: verify vet build test race smoke bench results
+
+## verify: vet + build + full test suite + CLI smoke run (tier-1 gate)
+verify: vet build test smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: concurrency suite under the race detector (short cycle budget)
+race:
+	$(GO) test -race -short ./...
+
+## smoke: fastest end-to-end CLI exercise (static table, no simulation)
+smoke:
+	$(GO) run ./cmd/experiments -exp table1
+
+## bench: full reproduction benchmark suite
+bench:
+	$(GO) test -bench=. -benchmem
+
+## results: regenerate the committed results/ snapshot (see README)
+results:
+	$(GO) run ./cmd/experiments -exp all -cycles 24000 -format md -out results -progress

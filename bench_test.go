@@ -133,6 +133,46 @@ func BenchmarkExtSmartUnified(b *testing.B) { runExperiment(b, "ext-smartunified
 // protecting only part of device memory.
 func BenchmarkExtSelective(b *testing.B) { runExperiment(b, "ext-selective") }
 
+// BenchmarkContextMemoHit measures the singleflight cache's hit path
+// — key canonicalization plus map lookup — which every memoized
+// request pays. It is the fixed overhead the parallel runner adds per
+// shared run.
+func BenchmarkContextMemoHit(b *testing.B) {
+	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"nw"}})
+	cfg := SecureMemConfig()
+	ctx.Run(cfg, "nw") // warm the one entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Run(cfg, "nw")
+	}
+}
+
+// BenchmarkContextMemoHitParallel hammers the hit path from all procs,
+// the contention profile of a sweep whose workers mostly share runs.
+func BenchmarkContextMemoHitParallel(b *testing.B) {
+	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"nw"}})
+	cfg := SecureMemConfig()
+	ctx.Run(cfg, "nw")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ctx.Run(cfg, "nw")
+		}
+	})
+}
+
+// BenchmarkRunKey isolates canonical-key construction (JSON encoding
+// of the full Config).
+func BenchmarkRunKey(b *testing.B) {
+	cfg := SecureMemConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if RunKey(cfg, "nw") == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed
 // (cycles/sec) on the heaviest configuration, for performance-tracking
 // rather than paper reproduction.

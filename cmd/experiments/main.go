@@ -7,6 +7,14 @@
 //	experiments -list                            # show the catalogue
 //	experiments -exp fig7 -cycles 60000 -benchmarks fdtd2d,lbm -format csv
 //	experiments -exp all -out results/           # one file per experiment
+//	experiments -exp all -jobs 8 -progress       # parallel sweep with ticker
+//	experiments -exp all -stats-out runs.json    # machine-readable run stats
+//
+// Runs execute on a worker pool (default GOMAXPROCS workers) and are
+// memoized with singleflight semantics, so shared configurations
+// simulate exactly once. Output is rendered in catalogue order from
+// the memoized results and is byte-identical at any -jobs value;
+// timing and progress chatter goes to stderr, data to stdout or -out.
 package main
 
 import (
@@ -20,28 +28,23 @@ import (
 
 	"gpusecmem"
 	"gpusecmem/internal/report"
+	"gpusecmem/internal/runner"
 )
 
-func writeTable(w io.Writer, t *report.Table, format string) error {
-	switch format {
-	case "csv":
-		return t.WriteCSV(w)
-	case "md":
-		return t.WriteMarkdown(w)
-	default:
-		return t.WriteText(w)
+// stampFor reconstructs the canonical regeneration command for one
+// experiment's output. Only flags that affect content appear —
+// -jobs/-progress/-stats-out/-out are deliberately excluded so output
+// stays byte-identical across worker counts and target directories.
+func stampFor(expID string, cycles uint64, benchmarks, format string) string {
+	parts := []string{"go run ./cmd/experiments", "-exp " + expID}
+	parts = append(parts, fmt.Sprintf("-cycles %d", cycles))
+	if benchmarks != "" {
+		parts = append(parts, "-benchmarks "+benchmarks)
 	}
-}
-
-func extFor(format string) string {
-	switch format {
-	case "csv":
-		return "csv"
-	case "md":
-		return "md"
-	default:
-		return "txt"
+	if format != "text" {
+		parts = append(parts, "-format "+format)
 	}
+	return strings.Join(parts, " ")
 }
 
 func main() {
@@ -52,6 +55,9 @@ func main() {
 		format     = flag.String("format", "text", "output format: text|csv|md")
 		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "print a periodic progress line to stderr")
+		statsOut   = flag.String("stats-out", "", "write machine-readable per-run stats (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -61,9 +67,7 @@ func main() {
 		}
 		return
 	}
-	switch *format {
-	case "text", "csv", "md":
-	default:
+	if !report.ValidFormat(*format) {
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(2)
 	}
@@ -93,14 +97,27 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		tables := e.Run(ctx)
+	rep := runner.Run(ctx, selected, runner.Options{
+		Jobs:     *jobs,
+		Progress: *progress,
+	})
+
+	failures := 0
+	for _, res := range rep.Results {
+		e := res.Experiment
+		if res.Err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, res.Err)
+			if re, ok := res.Err.(*gpusecmem.RunError); ok {
+				fmt.Fprintf(os.Stderr, "  config: %s\n", re.ConfigJSON())
+			}
+			continue
+		}
 
 		var w io.Writer = os.Stdout
 		var f *os.File
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+"."+extFor(*format))
+			path := filepath.Join(*outDir, e.ID+"."+report.Ext(*format))
 			var err error
 			f, err = os.Create(path)
 			if err != nil {
@@ -112,8 +129,9 @@ func main() {
 
 		fmt.Fprintf(w, "# %s\n", e.Title)
 		fmt.Fprintf(w, "# paper: %s\n", e.PaperFinding)
-		for _, t := range tables {
-			if err := writeTable(w, t, *format); err != nil {
+		fmt.Fprintf(w, "# generated: %s\n", stampFor(e.ID, *cycles, *benchmarks, *format))
+		for _, t := range res.Tables {
+			if err := t.Write(w, *format); err != nil {
 				fmt.Fprintf(os.Stderr, "write: %v\n", err)
 				os.Exit(1)
 			}
@@ -124,11 +142,36 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("%-22s -> %s (%s, %d cached runs)\n",
-				e.ID, filepath.Join(*outDir, e.ID+"."+extFor(*format)),
-				time.Since(start).Round(time.Millisecond), ctx.CachedRuns())
-		} else {
-			fmt.Printf("# (%s, %d cached runs)\n\n", time.Since(start).Round(time.Millisecond), ctx.CachedRuns())
+			fmt.Fprintf(os.Stderr, "%-22s -> %s (%s)\n",
+				e.ID, filepath.Join(*outDir, e.ID+"."+report.Ext(*format)),
+				res.Elapsed.Round(time.Millisecond))
 		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses, jobs %d, wall %s\n",
+		len(rep.Results), failures, rep.PlannedRuns, rep.ExecutedRuns, rep.FailedRuns,
+		rep.CacheHits, rep.CacheMisses, rep.Jobs, rep.Wall.Round(time.Millisecond))
+
+	if *statsOut != "" {
+		sf, err := os.Create(*statsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cmd := "experiments " + strings.Join(os.Args[1:], " ")
+		if err := rep.WriteStats(sf, cmd); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "stats -> %s\n", *statsOut)
+	}
+
+	if failures > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,163 @@
+package gpusecmem
+
+// Tests for the singleflight memo Context: canonical keys, exactly-one
+// simulation under concurrency, memoized error propagation, and run
+// planning.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunKeyCanonical(t *testing.T) {
+	a, b := SecureMemConfig(), SecureMemConfig()
+	if RunKey(a, "nw") != RunKey(b, "nw") {
+		t.Fatal("two equal configs produced different keys")
+	}
+	b.Secure.MetaMSHRs++
+	if RunKey(a, "nw") == RunKey(b, "nw") {
+		t.Fatal("differing configs collided")
+	}
+	if RunKey(a, "nw") == RunKey(a, "lbm") {
+		t.Fatal("differing benchmarks collided")
+	}
+	// The key is data, not a fmt dump: it must survive round-tripping
+	// as JSON (the canonicalization contract).
+	if !strings.HasPrefix(RunKey(a, "nw"), "{") || !strings.HasSuffix(RunKey(a, "nw"), "|nw") {
+		t.Fatalf("key is not canonical JSON + benchmark: %q", RunKey(a, "nw")[:40])
+	}
+}
+
+// TestSingleflightStress hammers one key from many goroutines and
+// asserts exactly one Simulate call, with every caller receiving the
+// same result object.
+func TestSingleflightStress(t *testing.T) {
+	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"nw"}})
+	var calls atomic.Int64
+	ctx.simulate = func(cfg Config, benchmark string) (*Result, error) {
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return &Result{Benchmark: benchmark, Cycles: cfg.MaxCycles, Instructions: 1}, nil
+	}
+
+	const goroutines = 32
+	results := make([]*Result, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = ctx.Run(BaselineConfig(), "nw")
+		}(i)
+	}
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("Simulate called %d times, want exactly 1", n)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("goroutine %d got a different result object", i)
+		}
+	}
+	s := ctx.CacheStats()
+	if s.Misses != 1 || s.Hits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", s, goroutines-1)
+	}
+}
+
+func TestRunErrorMemoizedAndPropagated(t *testing.T) {
+	ctx := NewContext(Options{Cycles: 1000})
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	ctx.simulate = func(Config, string) (*Result, error) {
+		calls.Add(1)
+		return nil, boom
+	}
+
+	_, err := ctx.RunE(BaselineConfig(), "nw")
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("RunE error = %v, want *RunError", err)
+	}
+	if re.Benchmark != "nw" || !errors.Is(err, boom) {
+		t.Fatalf("RunError did not carry context: %+v", re)
+	}
+	if !strings.Contains(re.ConfigJSON(), "\"NumSMs\":80") {
+		t.Fatalf("ConfigJSON missing config: %s", re.ConfigJSON()[:60])
+	}
+
+	// The failure is memoized: no retry per requester.
+	if _, err2 := ctx.RunE(BaselineConfig(), "nw"); err2 != err {
+		t.Fatalf("second call returned a different error: %v", err2)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("failed run re-simulated: %d calls", n)
+	}
+
+	// Run panics with the same typed error for the runner to recover.
+	defer func() {
+		r := recover()
+		if _, ok := r.(*RunError); !ok {
+			t.Fatalf("Run panicked with %T, want *RunError", r)
+		}
+	}()
+	ctx.Run(BaselineConfig(), "nw")
+	t.Fatal("Run did not panic on a failed run")
+}
+
+func TestSimulatorPanicBecomesError(t *testing.T) {
+	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"no-such-benchmark"}})
+	_, err := ctx.RunE(BaselineConfig(), "no-such-benchmark")
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown benchmark: err = %v, want *RunError", err)
+	}
+	if !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("error lost the panic message: %v", err)
+	}
+}
+
+// TestPlanRuns verifies the planner discovers the deduplicated work
+// set of a sweep without simulating anything.
+func TestPlanRuns(t *testing.T) {
+	ctx := NewContext(Options{Cycles: 2500, Benchmarks: []string{"nw", "fdtd2d"}})
+	var exps []Experiment
+	for _, id := range []string{"fig8", "fig16"} {
+		e, _ := ExperimentByID(id)
+		exps = append(exps, e)
+	}
+	plan := ctx.PlanRuns(exps)
+	if ctx.CachedRuns() != 0 {
+		t.Fatal("planning simulated")
+	}
+	// fig8: {baseline, separate, unified} x 2 benchmarks = 6;
+	// fig16: {baseline(shared), direct_40, ctr, ctr_bmt} x 2 = +6.
+	if len(plan) != 12 {
+		t.Fatalf("plan has %d specs, want 12 (baseline deduplicated)", len(plan))
+	}
+	seen := map[string]bool{}
+	for _, s := range plan {
+		if seen[s.Key] {
+			t.Fatalf("duplicate key in plan: %s", s.Benchmark)
+		}
+		seen[s.Key] = true
+		if s.Cfg.MaxCycles != 2500 {
+			t.Fatalf("plan spec cycles = %d, want options applied", s.Cfg.MaxCycles)
+		}
+		if s.Key != RunKey(s.Cfg, s.Benchmark) {
+			t.Fatal("spec key does not match its config")
+		}
+	}
+	// Planning is deterministic: same experiments, same order.
+	plan2 := ctx.PlanRuns(exps)
+	for i := range plan {
+		if plan[i].Key != plan2[i].Key {
+			t.Fatalf("plan order unstable at %d", i)
+		}
+	}
+}

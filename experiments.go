@@ -1,10 +1,12 @@
 package gpusecmem
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"gpusecmem/internal/area"
 	"gpusecmem/internal/cache"
@@ -35,49 +37,272 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// RunKey is the canonical memoization key for one (config, benchmark)
+// simulation: the deterministic JSON encoding of the fully resolved
+// Config, a separator, and the benchmark name. encoding/json writes
+// struct fields in declaration order and sorts map keys, so the key
+// stays canonical even if Config later grows pointer or map fields —
+// unlike the fmt "%+v" key it replaces, which prints pointer addresses.
+func RunKey(cfg Config, benchmark string) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is a plain value struct; marshalling cannot fail
+		// unless a future field breaks that invariant, which tests
+		// should catch immediately.
+		panic(fmt.Sprintf("gpusecmem: config not canonicalizable: %v", err))
+	}
+	return string(b) + "|" + benchmark
+}
+
+// RunSpec identifies one deduplicated simulation in an execution plan:
+// the fully resolved configuration (MaxCycles applied) plus the
+// benchmark and the canonical key.
+type RunSpec struct {
+	Cfg       Config
+	Benchmark string
+	Key       string
+}
+
+// RunError wraps a failed simulation with enough context to report
+// which configuration died without aborting the rest of a sweep.
+type RunError struct {
+	Benchmark string
+	Cfg       Config
+	Err       error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("simulate %q: %v", e.Benchmark, e.Err)
+}
+
+// Unwrap exposes the underlying simulator error to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// ConfigJSON renders the failing configuration canonically, for
+// diagnostics.
+func (e *RunError) ConfigJSON() string {
+	b, err := json.Marshal(e.Cfg)
+	if err != nil {
+		return fmt.Sprintf("%+v", e.Cfg)
+	}
+	return string(b)
+}
+
+// flight is one memoized simulation, possibly still in progress.
+// Concurrent requests for the same key block on done instead of
+// duplicating the run (singleflight semantics).
+type flight struct {
+	seq  int // start order, for stable stats reporting
+	done chan struct{}
+	res  *Result
+	err  error
+	wall time.Duration
+}
+
+// CacheStats counts memo-cache behaviour across a Context's lifetime.
+// Hits include requests that blocked on an in-flight run.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// RunStat describes one completed simulation for observability
+// (-stats-out and the -progress ticker).
+type RunStat struct {
+	Key       string
+	Benchmark string
+	Wall      time.Duration
+	Cycles    uint64
+	Err       error
+}
+
+// CyclesPerSec is simulated cycles per wall-clock second.
+func (s RunStat) CyclesPerSec() float64 {
+	if sec := s.Wall.Seconds(); sec > 0 {
+		return float64(s.Cycles) / sec
+	}
+	return 0
+}
+
 // Context memoizes simulation runs across experiments: many figures
 // share configurations (e.g. the secureMem design appears in Figures
 // 6, 7, 8, 12, 16 and 17), so each (config, benchmark) pair simulates
-// once.
+// once. Memoization uses singleflight semantics — concurrent requests
+// for the same key block on the one in-flight simulation — so a worker
+// pool can drive the same Context from many goroutines without
+// duplicated or racing runs.
 type Context struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[string]*Result
+	opts Options
+	// simulate is the simulation entry point; tests substitute it to
+	// count calls and inject failures.
+	simulate func(Config, string) (*Result, error)
+
+	mu     sync.Mutex
+	cache  map[string]*flight
+	hits   uint64
+	misses uint64
+
+	// Planning mode: Run records specs instead of simulating, so a
+	// runner can pre-plan the deduplicated work set of a sweep.
+	planning bool
+	planSeen map[string]bool
+	plan     []RunSpec
 }
 
 // NewContext builds a run context.
 func NewContext(opts Options) *Context {
-	return &Context{opts: opts.withDefaults(), cache: make(map[string]*Result)}
+	return &Context{
+		opts:     opts.withDefaults(),
+		simulate: Simulate,
+		cache:    make(map[string]*flight),
+	}
 }
 
 // Benchmarks returns the benchmark list in effect.
 func (c *Context) Benchmarks() []string { return c.opts.Benchmarks }
 
-// Run simulates (cfg, benchmark), memoized.
-func (c *Context) Run(cfg Config, benchmark string) *Result {
+// planPlaceholder is what Run returns while planning: a non-nil Result
+// whose derived metrics (IPC, miss rates, shares) are all defined, so
+// experiment bodies can do their arithmetic harmlessly while their
+// requests are being recorded.
+func planPlaceholder(benchmark string) *Result {
+	return &Result{
+		Benchmark:          benchmark,
+		Cycles:             1,
+		Instructions:       1,
+		PeakBandwidthBytes: 1,
+	}
+}
+
+// RunE simulates (cfg, benchmark), memoized with singleflight
+// semantics, and propagates simulator failures as *RunError instead of
+// panicking. Errors are memoized too: a deterministic failure is
+// reported once per key, not retried per requester.
+func (c *Context) RunE(cfg Config, benchmark string) (*Result, error) {
 	cfg.MaxCycles = c.opts.Cycles
-	key := fmt.Sprintf("%+v|%s", cfg, benchmark)
+	key := RunKey(cfg, benchmark)
+
 	c.mu.Lock()
-	if r, ok := c.cache[key]; ok {
+	if c.planning {
+		if !c.planSeen[key] {
+			c.planSeen[key] = true
+			c.plan = append(c.plan, RunSpec{Cfg: cfg, Benchmark: benchmark, Key: key})
+		}
 		c.mu.Unlock()
-		return r
+		return planPlaceholder(benchmark), nil
 	}
+	if f, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{seq: len(c.cache), done: make(chan struct{})}
+	c.cache[key] = f
+	c.misses++
 	c.mu.Unlock()
-	r, err := Simulate(cfg, benchmark)
+
+	start := time.Now()
+	res, err := safeSimulate(c.simulate, cfg, benchmark)
+	f.wall = time.Since(start)
+	f.res = res
 	if err != nil {
-		panic(fmt.Sprintf("gpusecmem: experiment run failed: %v", err))
+		f.err = &RunError{Benchmark: benchmark, Cfg: cfg, Err: err}
 	}
-	c.mu.Lock()
-	c.cache[key] = r
-	c.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// safeSimulate converts a simulator panic (e.g. an unknown benchmark
+// name) into an error, so one bad run fails its experiments instead
+// of killing the whole sweep — worker goroutines must never die.
+func safeSimulate(sim func(Config, string) (*Result, error), cfg Config, benchmark string) (r *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("simulator panic: %v", p)
+		}
+	}()
+	return sim(cfg, benchmark)
+}
+
+// Run simulates (cfg, benchmark), memoized. A failed simulation
+// panics with the *RunError so existing experiment bodies need no
+// error plumbing; the runner (internal/runner) recovers it per
+// experiment, reports the failing config, and continues the sweep.
+func (c *Context) Run(cfg Config, benchmark string) *Result {
+	r, err := c.RunE(cfg, benchmark)
+	if err != nil {
+		panic(err)
+	}
 	return r
 }
 
-// CachedRuns reports how many distinct runs have been simulated.
+// PlanRuns replays the experiments against a recording shadow context
+// and returns the deduplicated (config, benchmark) pairs they need, in
+// first-request order. Nothing is simulated. An experiment that
+// chokes on placeholder results simply contributes the requests it
+// made before bailing; any runs it hides are discovered (and memoized)
+// at render time.
+func (c *Context) PlanRuns(exps []Experiment) []RunSpec {
+	shadow := &Context{
+		opts:     c.opts,
+		planning: true,
+		planSeen: make(map[string]bool),
+	}
+	for _, e := range exps {
+		func() {
+			defer func() { _ = recover() }()
+			e.Run(shadow)
+		}()
+	}
+	return shadow.plan
+}
+
+// CachedRuns reports how many distinct runs have been started.
 func (c *Context) CachedRuns() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.cache)
+}
+
+// CacheStats reports memo hit/miss counts so far.
+func (c *Context) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// RunStats returns per-run observability records for every completed
+// simulation, in start order. In-flight runs are skipped (their
+// fields are not yet safe to read).
+func (c *Context) RunStats() []RunStat {
+	c.mu.Lock()
+	flights := make([]*flight, 0, len(c.cache))
+	keys := make(map[*flight]string, len(c.cache))
+	for k, f := range c.cache {
+		flights = append(flights, f)
+		keys[f] = k
+	}
+	c.mu.Unlock()
+
+	sort.Slice(flights, func(i, j int) bool { return flights[i].seq < flights[j].seq })
+	out := make([]RunStat, 0, len(flights))
+	for _, f := range flights {
+		select {
+		case <-f.done:
+		default:
+			continue
+		}
+		s := RunStat{Key: keys[f], Wall: f.wall, Err: f.err}
+		if f.res != nil {
+			s.Benchmark = f.res.Benchmark
+			s.Cycles = f.res.Cycles
+		} else if re, ok := f.err.(*RunError); ok {
+			s.Benchmark = re.Benchmark
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // Experiment regenerates one table or figure of the paper.

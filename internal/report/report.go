@@ -141,6 +141,42 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 	return err
 }
 
+// Formats supported by Write, in CLI-help order.
+var Formats = []string{"text", "csv", "md"}
+
+// ValidFormat reports whether Write accepts the format name.
+func ValidFormat(format string) bool {
+	for _, f := range Formats {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// Write renders the table in the named format ("text", "csv" or
+// "md"); unknown names fall back to text, matching the CLI's default.
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		return t.WriteCSV(w)
+	case "md":
+		return t.WriteMarkdown(w)
+	default:
+		return t.WriteText(w)
+	}
+}
+
+// Ext returns the file extension for a format.
+func Ext(format string) string {
+	switch format {
+	case "csv", "md":
+		return format
+	default:
+		return "txt"
+	}
+}
+
 // Pct formats a ratio as a percentage string.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
 

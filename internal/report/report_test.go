@@ -119,3 +119,31 @@ func TestMarkdownEscapesPipes(t *testing.T) {
 		t.Errorf("pipe not escaped:\n%s", b.String())
 	}
 }
+
+func TestFormatDispatch(t *testing.T) {
+	for _, f := range Formats {
+		if !ValidFormat(f) {
+			t.Errorf("%s should be valid", f)
+		}
+	}
+	if ValidFormat("yaml") {
+		t.Error("yaml should be invalid")
+	}
+	if Ext("md") != "md" || Ext("csv") != "csv" || Ext("text") != "txt" {
+		t.Error("extension mapping wrong")
+	}
+	// Write dispatches on format name.
+	for format, marker := range map[string]string{
+		"text": "== demo ==",
+		"csv":  "name,value,note",
+		"md":   "### demo",
+	} {
+		var b strings.Builder
+		if err := sample().Write(&b, format); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), marker) {
+			t.Errorf("%s output missing %q:\n%s", format, marker, b.String())
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package runner
+
+// Benchmarks for sweep orchestration. BenchmarkSweepJobs* run the same
+// small experiment set at different worker counts; on a multi-core
+// host the ns/op ratio between Jobs1 and JobsMax approaches the core
+// count (the run set is embarrassingly parallel), while on one core
+// they coincide — both are worth tracking, because a regression in the
+// singleflight path shows up at every width.
+
+import (
+	"testing"
+
+	"gpusecmem"
+)
+
+func benchSweep(b *testing.B, jobs int) {
+	b.Helper()
+	ids := []string{"fig8", "fig16"}
+	var exps []gpusecmem.Experiment
+	for _, id := range ids {
+		e, ok := gpusecmem.ExperimentByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		exps = append(exps, e)
+	}
+	opts := gpusecmem.Options{Cycles: 1000, Benchmarks: []string{"nw", "fdtd2d"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh context per iteration: the cost being measured is the
+		// cold sweep, not memo hits.
+		rep := Run(gpusecmem.NewContext(opts), exps, Options{Jobs: jobs})
+		if rep.FailedExperiments() != 0 {
+			b.Fatal("sweep failed")
+		}
+	}
+}
+
+func BenchmarkSweepJobs1(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepJobs4(b *testing.B)   { benchSweep(b, 4) }
+func BenchmarkSweepJobsMax(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkPlan isolates the planning pass over the full registry.
+func BenchmarkPlan(b *testing.B) {
+	ctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: 1000})
+	exps := gpusecmem.Experiments()
+	for i := 0; i < b.N; i++ {
+		if len(ctx.PlanRuns(exps)) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package runner executes experiment sweeps concurrently. It
+// pre-plans the deduplicated set of (config, benchmark) simulations
+// the selected experiments need, drives them through a worker pool
+// feeding the Context's singleflight memo cache, then renders every
+// experiment in catalogue order from the memoized results — so output
+// is byte-identical to a serial run at any worker count.
+//
+// Each simulator instance is self-contained (no shared mutable state;
+// see DESIGN.md "Parallelism & determinism"), which makes the sweep
+// embarrassingly parallel across runs. A failed run is reported with
+// its configuration and fails only the experiments that need it; the
+// rest of the sweep completes.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpusecmem"
+	"gpusecmem/internal/report"
+)
+
+// Options controls a sweep.
+type Options struct {
+	// Jobs is the worker-pool size; <=0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress enables a periodic one-line status ticker.
+	Progress bool
+	// ProgressOut receives ticker lines (default os.Stderr).
+	ProgressOut io.Writer
+	// ProgressInterval is the ticker period (default 1s).
+	ProgressInterval time.Duration
+}
+
+// ExperimentResult is one rendered experiment, or its failure.
+type ExperimentResult struct {
+	Experiment gpusecmem.Experiment
+	Tables     []*report.Table
+	// Err is non-nil when a simulation the experiment depends on
+	// failed; it is the *gpusecmem.RunError of the failing run.
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunRecord is the machine-readable per-run entry of -stats-out.
+type RunRecord struct {
+	// Key is a short digest of the canonical (config, benchmark) memo
+	// key, for cross-referencing runs between sweeps.
+	Key       string `json:"key"`
+	Benchmark string `json:"benchmark"`
+	// Config is the canonical JSON of the fully resolved Config.
+	Config       json.RawMessage `json:"config"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	Cycles       uint64          `json:"cycles"`
+	CyclesPerSec float64         `json:"cycles_per_sec"`
+	Error        string          `json:"error,omitempty"`
+}
+
+// Report summarizes one sweep.
+type Report struct {
+	Results      []ExperimentResult
+	Runs         []RunRecord
+	Jobs         int
+	PlannedRuns  int
+	ExecutedRuns int
+	FailedRuns   int
+	CacheHits    uint64
+	CacheMisses  uint64
+	Wall         time.Duration
+}
+
+// FailedExperiments counts results with a non-nil Err.
+func (r *Report) FailedExperiments() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// statsJSON is the wire form of WriteStats.
+type statsJSON struct {
+	Command           string      `json:"command,omitempty"`
+	Jobs              int         `json:"jobs"`
+	PlannedRuns       int         `json:"planned_runs"`
+	ExecutedRuns      int         `json:"executed_runs"`
+	FailedRuns        int         `json:"failed_runs"`
+	CacheHits         uint64      `json:"cache_hits"`
+	CacheMisses       uint64      `json:"cache_misses"`
+	WallSeconds       float64     `json:"wall_seconds"`
+	FailedExperiments int         `json:"failed_experiments"`
+	Runs              []RunRecord `json:"runs"`
+}
+
+// WriteStats emits the machine-readable sweep summary (the -stats-out
+// payload). command records the invocation for provenance.
+func (r *Report) WriteStats(w io.Writer, command string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(statsJSON{
+		Command:           command,
+		Jobs:              r.Jobs,
+		PlannedRuns:       r.PlannedRuns,
+		ExecutedRuns:      r.ExecutedRuns,
+		FailedRuns:        r.FailedRuns,
+		CacheHits:         r.CacheHits,
+		CacheMisses:       r.CacheMisses,
+		WallSeconds:       r.Wall.Seconds(),
+		FailedExperiments: r.FailedExperiments(),
+		Runs:              r.Runs,
+	})
+}
+
+// KeyDigest shortens a canonical run key to a stable 12-hex-digit id.
+func KeyDigest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Run plans, executes, and renders the experiments. Rendering happens
+// after the pool drains, in the order given, entirely from memoized
+// results — output bytes do not depend on Jobs.
+func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Report {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	plan := ctx.PlanRuns(exps)
+	rep := &Report{Jobs: jobs, PlannedRuns: len(plan)}
+
+	var done, failed atomic.Int64
+	stopProgress := startProgress(opts, len(plan), &done, &failed, start)
+
+	specs := make(chan gpusecmem.RunSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range specs {
+				if _, err := ctx.RunE(s.Cfg, s.Benchmark); err != nil {
+					failed.Add(1)
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	for _, s := range plan {
+		specs <- s
+	}
+	close(specs)
+	wg.Wait()
+	stopProgress()
+
+	// Render serially, in catalogue order, from the warm cache. Runs
+	// the planner missed (an experiment that bailed on placeholder
+	// data) simulate here through the same singleflight path.
+	for _, e := range exps {
+		rep.Results = append(rep.Results, renderOne(ctx, e))
+	}
+
+	stats := ctx.CacheStats()
+	rep.CacheHits, rep.CacheMisses = stats.Hits, stats.Misses
+	rep.Wall = time.Since(start)
+
+	byKey := make(map[string]gpusecmem.RunStat)
+	for _, s := range ctx.RunStats() {
+		byKey[s.Key] = s
+		rep.ExecutedRuns++
+		if s.Err != nil {
+			rep.FailedRuns++
+		}
+	}
+	for _, spec := range plan {
+		s, ok := byKey[spec.Key]
+		if !ok {
+			continue
+		}
+		cfgJSON, err := json.Marshal(spec.Cfg)
+		if err != nil {
+			cfgJSON = []byte("null")
+		}
+		rec := RunRecord{
+			Key:          KeyDigest(spec.Key),
+			Benchmark:    spec.Benchmark,
+			Config:       cfgJSON,
+			WallSeconds:  s.Wall.Seconds(),
+			Cycles:       s.Cycles,
+			CyclesPerSec: s.CyclesPerSec(),
+		}
+		if s.Err != nil {
+			rec.Error = s.Err.Error()
+		}
+		rep.Runs = append(rep.Runs, rec)
+		delete(byKey, spec.Key)
+	}
+	// Runs discovered only at render time still get a record, after
+	// the planned ones.
+	for _, s := range ctx.RunStats() {
+		if _, pending := byKey[s.Key]; !pending {
+			continue
+		}
+		rec := RunRecord{
+			Key:          KeyDigest(s.Key),
+			Benchmark:    s.Benchmark,
+			Config:       json.RawMessage("null"),
+			WallSeconds:  s.Wall.Seconds(),
+			Cycles:       s.Cycles,
+			CyclesPerSec: s.CyclesPerSec(),
+		}
+		if s.Err != nil {
+			rec.Error = s.Err.Error()
+		}
+		rep.Runs = append(rep.Runs, rec)
+	}
+	return rep
+}
+
+// renderOne runs one experiment body against the memoized context,
+// converting a *RunError panic (a failed simulation) into the
+// result's Err so the sweep continues.
+func renderOne(ctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentResult) {
+	out.Experiment = e
+	t0 := time.Now()
+	defer func() {
+		out.Elapsed = time.Since(t0)
+		if r := recover(); r != nil {
+			re, ok := r.(*gpusecmem.RunError)
+			if !ok {
+				panic(r)
+			}
+			out.Err = re
+		}
+	}()
+	out.Tables = e.Run(ctx)
+	return out
+}
+
+// startProgress launches the ticker goroutine and returns its stop
+// function (which prints a final line). A no-op when disabled.
+func startProgress(opts Options, total int, done, failed *atomic.Int64, start time.Time) func() {
+	if !opts.Progress {
+		return func() {}
+	}
+	w := opts.ProgressOut
+	if w == nil {
+		w = os.Stderr
+	}
+	interval := opts.ProgressInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	line := func() {
+		d, f := done.Load(), failed.Load()
+		fmt.Fprintf(w, "progress: %d/%d runs done (%d failed), %s elapsed\n",
+			d, total, f, time.Since(start).Round(time.Second))
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				line()
+			case <-quit:
+				line() // final line, printed from this goroutine so the writer has one writer
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-finished
+		})
+	}
+}
