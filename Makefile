@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race smoke bench results
+.PHONY: verify vet build test race smoke bench results audit fuzz
 
 ## verify: vet + build + full test suite + CLI smoke run (tier-1 gate)
 verify: vet build test smoke
@@ -32,3 +32,15 @@ bench:
 ## results: regenerate the committed results/ snapshot (see README)
 results:
 	$(GO) run ./cmd/experiments -exp all -cycles 24000 -format md -out results -progress
+
+## audit: run every simulation with the invariant auditors enabled
+## (request conservation, MSHR accounting, queue bounds) — slower, but
+## any bookkeeping bug aborts the sweep with an *AuditError.
+audit:
+	$(GO) test -run 'TestAuditorsPassOnCatalogue|TestWatchdog' ./internal/sim
+	$(GO) run ./cmd/experiments -exp fig3 -cycles 8000 -audit -progress > /dev/null
+
+## fuzz: short fuzzing smoke over the crypto and secmem codecs
+fuzz:
+	$(GO) test -run Fuzz -fuzz FuzzCounterModeRoundTrip -fuzztime 10s ./internal/secmem
+	$(GO) test -run Fuzz -fuzz FuzzAESAgainstStdlib -fuzztime 10s ./internal/crypto

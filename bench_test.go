@@ -133,6 +133,10 @@ func BenchmarkExtSmartUnified(b *testing.B) { runExperiment(b, "ext-smartunified
 // protecting only part of device memory.
 func BenchmarkExtSelective(b *testing.B) { runExperiment(b, "ext-selective") }
 
+// BenchmarkExtFaultCoverage measures fault detection across
+// protection levels under a deterministic injection campaign.
+func BenchmarkExtFaultCoverage(b *testing.B) { runExperiment(b, "ext-faultcoverage") }
+
 // BenchmarkContextMemoHit measures the singleflight cache's hit path
 // — key canonicalization plus map lookup — which every memoized
 // request pays. It is the fixed overhead the parallel runner adds per

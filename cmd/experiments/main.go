@@ -58,6 +58,7 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		progress   = flag.Bool("progress", false, "print a periodic progress line to stderr")
 		statsOut   = flag.String("stats-out", "", "write machine-readable per-run stats (JSON) to this file")
+		audit      = flag.Bool("audit", false, "run every simulation with invariant auditors enabled (changes memo keys; slower)")
 	)
 	flag.Parse()
 
@@ -72,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := gpusecmem.Options{Cycles: *cycles}
+	opts := gpusecmem.Options{Cycles: *cycles, Audit: *audit}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}

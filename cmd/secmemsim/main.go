@@ -6,11 +6,13 @@
 //
 //	secmemsim -bench fdtd2d -scheme ctr_mac_bmt -cycles 60000
 //	secmemsim -bench lbm -scheme direct_mac -aes-latency 80
+//	secmemsim -bench lbm -faults seed=1,rate=1e-4,sites=all -audit
 //	secmemsim -list
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,9 @@ func main() {
 		metaKB     = flag.Int("meta-kb", 0, "metadata cache KB per type (0 = scheme default)")
 		mshrs      = flag.Int("mshrs", 64, "MSHRs per metadata cache")
 		unified    = flag.Bool("unified", false, "use a unified metadata cache")
+		faultSpec  = flag.String("faults", "", "fault-injection plan, e.g. seed=1,rate=1e-4,sites=data,meta,drop (empty = none)")
+		audit      = flag.Bool("audit", false, "run per-cycle invariant auditors")
+		watchdog   = flag.Uint64("watchdog", 0, "override watchdog stall threshold in cycles (0 = config default)")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 		list       = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -63,18 +68,28 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.MaxCycles = *cycles
+	cfg.Audit = *audit
+	if *watchdog > 0 {
+		cfg.WatchdogCycles = *watchdog
+	}
+	plan, err := gpusecmem.ParseFaultPlan(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Faults = plan
 
+	// The baseline comparison run stays fault-free and unaudited: it is
+	// only there to normalize IPC.
 	base := gpusecmem.BaselineConfig()
 	base.MaxCycles = *cycles
 	bres, err := gpusecmem.Simulate(base, *bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	res, err := gpusecmem.Simulate(cfg, *bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *asJSON {
@@ -109,4 +124,22 @@ func main() {
 		fmt.Printf("meta[%d]          accesses=%d miss=%.2f%% secondary=%.2f%%\n",
 			m, ms.Accesses, 100*ms.MissRate(), 100*ms.SecondaryRatio())
 	}
+	if plan != nil {
+		f := res.Faults
+		fmt.Printf("faults injected  %v (plan %s)\n", f.Injected, plan)
+		fmt.Printf("faults detected  %d of %d corruptions (%.1f%% coverage), %d silent\n",
+			f.Detected, f.Corruptions(), 100*f.DetectionRate(), f.Silent)
+		fmt.Printf("replies dropped  %d, duplicated %d\n", f.DroppedReplies, f.DuplicatedReplies)
+	}
+}
+
+// fail reports a simulation error; a watchdog stall also gets its
+// machine-state dump so a wedged configuration is diagnosable.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	var stall *gpusecmem.StallError
+	if errors.As(err, &stall) && stall.Dump != "" {
+		fmt.Fprintln(os.Stderr, stall.Dump)
+	}
+	os.Exit(1)
 }

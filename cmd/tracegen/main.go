@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"gpusecmem/internal/smcore"
@@ -37,7 +38,15 @@ func main() {
 		return
 	}
 
-	gen := trace.New(*bench)
+	gen, err := trace.New(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		fmt.Fprintln(os.Stderr, "valid benchmarks:")
+		for _, b := range trace.Names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", b)
+		}
+		os.Exit(2)
+	}
 	if *warps > gen.WarpsPerSM() {
 		*warps = gen.WarpsPerSM()
 	}

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"gpusecmem/internal/area"
 	"gpusecmem/internal/cache"
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/report"
 	"gpusecmem/internal/sim"
@@ -25,6 +27,11 @@ type Options struct {
 	Cycles uint64
 	// Benchmarks to include (default: all of Table IV).
 	Benchmarks []string
+	// Audit enables the simulator's per-cycle invariant auditors on
+	// every run (see `make audit`). Auditing reads state only — results
+	// are byte-identical — but audited and unaudited runs memoize under
+	// different keys because Audit is part of the Config.
+	Audit bool
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +76,10 @@ type RunError struct {
 	Benchmark string
 	Cfg       Config
 	Err       error
+	// Stack is the goroutine stack at the point of a recovered panic;
+	// empty for ordinary simulator errors (stalls, audits, bad
+	// configs), which are diagnosable from Err alone.
+	Stack string
 }
 
 func (e *RunError) Error() string {
@@ -180,6 +191,9 @@ func planPlaceholder(benchmark string) *Result {
 // reported once per key, not retried per requester.
 func (c *Context) RunE(cfg Config, benchmark string) (*Result, error) {
 	cfg.MaxCycles = c.opts.Cycles
+	if c.opts.Audit {
+		cfg.Audit = true
+	}
 	key := RunKey(cfg, benchmark)
 
 	c.mu.Lock()
@@ -203,26 +217,27 @@ func (c *Context) RunE(cfg Config, benchmark string) (*Result, error) {
 	c.mu.Unlock()
 
 	start := time.Now()
-	res, err := safeSimulate(c.simulate, cfg, benchmark)
+	res, err, stack := safeSimulate(c.simulate, cfg, benchmark)
 	f.wall = time.Since(start)
 	f.res = res
 	if err != nil {
-		f.err = &RunError{Benchmark: benchmark, Cfg: cfg, Err: err}
+		f.err = &RunError{Benchmark: benchmark, Cfg: cfg, Err: err, Stack: stack}
 	}
 	close(f.done)
 	return f.res, f.err
 }
 
-// safeSimulate converts a simulator panic (e.g. an unknown benchmark
-// name) into an error, so one bad run fails its experiments instead
-// of killing the whole sweep — worker goroutines must never die.
-func safeSimulate(sim func(Config, string) (*Result, error), cfg Config, benchmark string) (r *Result, err error) {
+// safeSimulate converts a simulator panic into an error plus the
+// captured stack, so one bad run fails its experiments instead of
+// killing the whole sweep — worker goroutines must never die.
+func safeSimulate(sim func(Config, string) (*Result, error), cfg Config, benchmark string) (r *Result, err error, stack string) {
 	defer func() {
 		if p := recover(); p != nil {
-			r, err = nil, fmt.Errorf("simulator panic: %v", p)
+			r, err, stack = nil, fmt.Errorf("simulator panic: %v", p), string(debug.Stack())
 		}
 	}()
-	return sim(cfg, benchmark)
+	r, err = sim(cfg, benchmark)
+	return r, err, ""
 }
 
 // Run simulates (cfg, benchmark), memoized. A failed simulation
@@ -455,7 +470,7 @@ func Experiments() []Experiment {
 		expFig15(), expFig16(), expFig17(),
 		expAblationMergeCap(), expAblationAllocPolicy(), expAblationSpecVerify(),
 		expAblationLazyUpdate(), expAblationSectoredL2(),
-		expExtSmartUnified(), expExtSelective(),
+		expExtSmartUnified(), expExtSelective(), expExtFaultCoverage(),
 	}
 }
 
@@ -1151,6 +1166,98 @@ func expExtSelective() Experiment {
 				})}
 		},
 	}
+}
+
+func expExtFaultCoverage() Experiment {
+	return Experiment{
+		ID:    "ext-faultcoverage",
+		Title: "Extension: fault-injection detection coverage",
+		PaperFinding: "(Section II threat model) the active adversary tampers with off-chip data " +
+			"and metadata; sector MACs catch data corruption, the BMT catches counter " +
+			"corruption — coverage falls as protection layers are removed",
+		Run: func(c *Context) []*report.Table {
+			plan := &faults.Plan{Seed: 0xfa17, Rate: 5e-3, Sites: faults.FlipSites}
+			levels := []struct {
+				Name string
+				Cfg  Config
+			}{
+				{"baseline (no protection)", BaselineConfig()},
+				{"ctr (encryption only)", schemes["ctr"]()},
+				{"ctr_bmt (no data MACs)", schemes["ctr_bmt"]()},
+				{"ctr_mac_bmt (secureMem)", SecureMemConfig()},
+			}
+			t := report.New("Cycle-level campaign: DRAM data/metadata bit-flips ("+plan.String()+")",
+				"protection", "benchmark", "corruptions", "detected", "silent", "coverage")
+			for _, lv := range levels {
+				var det, sil uint64
+				for _, b := range ablationBenchmarks(c) {
+					cfg := lv.Cfg
+					cfg.Faults = plan
+					f := c.Run(cfg, b).Faults
+					det += f.Detected
+					sil += f.Silent
+					t.AddRow(lv.Name, b, f.Corruptions(), f.Detected, f.Silent,
+						report.Pct(f.DetectionRate()))
+				}
+				t.AddRow(lv.Name, "all", det+sil, det, sil, report.Pct(stats.Ratio(det, det+sil)))
+			}
+			return []*report.Table{t, faultGroundTruth(plan)}
+		},
+	}
+}
+
+// faultGroundTruth replays the campaign's bit-flips against the real
+// functional secure-memory engine — the cycle-level table above models
+// detection structurally; this one actually corrupts a backing store
+// and lets the cryptography speak for itself.
+func faultGroundTruth(plan *FaultPlan) *report.Table {
+	const size = 1 << 18 // 256 KB protected region
+	t := report.New("Functional ground truth: the same flips against the real engine (VerifyAll scrub)",
+		"protection", "flip target", "flips", "violations", "outcome")
+
+	for _, p := range []struct {
+		Name string
+		Prot Protection
+	}{
+		{"full (enc+MAC+BMT)", FullProtection},
+		{"none (Protection{})", Protection{}},
+	} {
+		for _, target := range []string{"data", "counters"} {
+			eng, err := NewCounterModeMemory(size, Keys{}, p.Prot)
+			if err != nil {
+				panic(err)
+			}
+			line := make([]byte, geometry.LineSize)
+			for addr := uint64(0); addr < size; addr += geometry.LineSize {
+				for i := range line {
+					line[i] = byte(addr>>7) + byte(i)*3
+				}
+				if err := eng.WriteLine(addr, line); err != nil {
+					panic(err)
+				}
+			}
+			lay := eng.Layout()
+			base, limit := uint64(0), lay.DataBytes
+			if target == "counters" {
+				base, limit = lay.CounterBase, lay.MACBase-lay.CounterBase
+			}
+			flips := plan.FlipAddrs(64, limit)
+			b := eng.Backing()
+			var one [1]byte
+			for _, f := range flips {
+				b.Read(base+f.Addr, one[:])
+				one[0] ^= 1 << f.Bit
+				b.Write(base+f.Addr, one[:])
+			}
+			rep := eng.VerifyAll()
+			outcome := "all flips silent"
+			if !rep.OK() {
+				outcome = "tampering detected"
+			}
+			t.AddRow(p.Name, target, len(flips), len(rep.Violations), outcome)
+		}
+	}
+	return t
 }
 
 // SortedIDs returns the experiment ids in registry order (useful for

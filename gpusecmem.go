@@ -19,6 +19,7 @@
 package gpusecmem
 
 import (
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/secmem"
 	"gpusecmem/internal/sim"
@@ -124,6 +125,31 @@ func DirectMemConfig(aesLatency int, mac, tree bool) Config {
 func Simulate(cfg Config, benchmark string) (*Result, error) {
 	return sim.Run(cfg, benchmark)
 }
+
+// --- Fault injection & self-checking ---
+
+// FaultPlan is a deterministic fault-injection campaign for
+// Config.Faults: a seed, a per-opportunity rate, and the set of
+// injection sites (DRAM data/metadata flips, metadata-fill corruption,
+// interconnect drops/duplicates). nil injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultStats summarizes a campaign's injections and how the configured
+// protection level classified them (Result.Faults).
+type FaultStats = sim.FaultStats
+
+// ParseFaultPlan parses the -faults CLI syntax,
+// "seed=N,rate=F,sites=a,b,c" (sites: data, meta, metafill, drop, dup,
+// all, flips). Empty or "none" returns nil.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.ParsePlan(spec) }
+
+// StallError is returned by Simulate when the watchdog detects a
+// forward-progress stall; it carries a machine-state dump.
+type StallError = sim.StallError
+
+// AuditError is returned by Simulate when a per-cycle invariant
+// auditor (Config.Audit) finds the simulator's books out of balance.
+type AuditError = sim.AuditError
 
 // Benchmarks lists the Table IV workloads in paper order.
 func Benchmarks() []string { return trace.Names() }

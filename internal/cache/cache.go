@@ -590,6 +590,62 @@ func (c *Cache) Present(addr uint64) bool {
 	return w.sectorValid[c.sectorOf(addr)]
 }
 
+// PendingFills reports how many fetch units are currently in flight
+// (MSHR-tracked sectors plus untracked bypass fetches) — used by the
+// simulator's stall diagnostics.
+func (c *Cache) PendingFills() int {
+	n := 0
+	for _, e := range c.mshrs {
+		for s := 0; s < SectorsPerLine; s++ {
+			if e.sectorPending[s] {
+				n++
+			}
+		}
+	}
+	for _, cnt := range c.pendingBypass {
+		n += cnt
+	}
+	return n
+}
+
+// AuditLeaks checks the cache's internal accounting invariants: MSHR
+// free-list conservation, no phantom MSHR entries (an entry with no
+// pending sector should have been retired by Fill), and no
+// non-positive bypass counts. It returns nil when the books balance.
+// The checks are O(entries in flight); the simulator runs them only
+// when auditing is enabled.
+func (c *Cache) AuditLeaks() error {
+	if c.mshrFree < 0 {
+		return fmt.Errorf("cache %s: mshrFree %d negative", c.cfg.Name, c.mshrFree)
+	}
+	if !c.cfg.Unlimited && !c.cfg.Perfect && c.cfg.NumMSHRs > 0 {
+		if c.mshrFree+len(c.mshrs) != c.cfg.NumMSHRs {
+			return fmt.Errorf("cache %s: MSHR leak: %d free + %d live != %d total",
+				c.cfg.Name, c.mshrFree, len(c.mshrs), c.cfg.NumMSHRs)
+		}
+	}
+	for lineAddr, e := range c.mshrs {
+		live := false
+		for s := 0; s < SectorsPerLine; s++ {
+			if e.sectorPending[s] {
+				live = true
+			} else if len(e.tokens[s]) != 0 {
+				return fmt.Errorf("cache %s: MSHR %#x sector %d holds %d tokens with no pending fill",
+					c.cfg.Name, lineAddr, s, len(e.tokens[s]))
+			}
+		}
+		if !live {
+			return fmt.Errorf("cache %s: MSHR %#x has no pending sector (missed retirement)", c.cfg.Name, lineAddr)
+		}
+	}
+	for key, n := range c.pendingBypass {
+		if n <= 0 {
+			return fmt.Errorf("cache %s: bypass count %d for unit %#x", c.cfg.Name, n, key)
+		}
+	}
+	return nil
+}
+
 // InFlight reports whether the unit containing addr has a pending fill
 // (via MSHR or bypass tracking).
 func (c *Cache) InFlight(addr uint64) bool {

@@ -8,7 +8,10 @@
 // 32-byte beat is exact integer arithmetic.
 package dram
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Config holds the timing parameters of one partition's channel.
 type Config struct {
@@ -25,6 +28,27 @@ type Config struct {
 	BeatThirds int
 	// MaxIssuePerCycle bounds scheduler issues per cycle.
 	MaxIssuePerCycle int
+}
+
+// Validate reports invalid channel parameters. sim.Config.Validate
+// calls it so a bad DRAM configuration fails before simulation starts
+// instead of panicking inside New.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: Banks must be positive (got %d)", c.Banks)
+	case c.RowHitCycles < 0 || c.RowMissCycles < 0:
+		return fmt.Errorf("dram: negative access latency (hit %d, miss %d)", c.RowHitCycles, c.RowMissCycles)
+	case c.RowHitCycles > c.RowMissCycles:
+		return fmt.Errorf("dram: RowHitCycles %d exceeds RowMissCycles %d", c.RowHitCycles, c.RowMissCycles)
+	case c.BeatBytes <= 0:
+		return fmt.Errorf("dram: BeatBytes must be positive (got %d)", c.BeatBytes)
+	case c.BeatThirds <= 0:
+		return fmt.Errorf("dram: BeatThirds must be positive (got %d)", c.BeatThirds)
+	case c.MaxIssuePerCycle <= 0:
+		return fmt.Errorf("dram: MaxIssuePerCycle must be positive (got %d)", c.MaxIssuePerCycle)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's baseline channel timing.
@@ -111,7 +135,8 @@ type DRAM struct {
 	Stats     Stats
 }
 
-// New builds a channel from cfg.
+// New builds a channel from cfg. Callers should Validate first; New
+// only guards the parameters that would corrupt its arithmetic.
 func New(cfg Config) *DRAM {
 	if cfg.Banks <= 0 || cfg.BeatBytes <= 0 || cfg.BeatThirds <= 0 {
 		panic("dram: invalid config")

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSites(t *testing.T) {
+	cases := []struct {
+		spec string
+		want SiteMask
+	}{
+		{"data", SiteDRAMData.Mask()},
+		{"data,meta", SiteDRAMData.Mask() | SiteDRAMMeta.Mask()},
+		{"drop,dup", SiteIcntDrop.Mask() | SiteIcntDup.Mask()},
+		{"all", AllSites},
+		{"flips", FlipSites},
+		{"metafill", SiteMetaFill.Mask()},
+	}
+	for _, tc := range cases {
+		got, err := ParseSites(tc.spec)
+		if err != nil {
+			t.Fatalf("ParseSites(%q): %v", tc.spec, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseSites(%q) = %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+	if _, err := ParseSites("data,bogus"); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestSiteMaskRoundTrip(t *testing.T) {
+	for m := SiteMask(1); m <= AllSites; m++ {
+		back, err := ParseSites(m.String())
+		if err != nil {
+			t.Fatalf("mask %v: %v", m, err)
+		}
+		if back != m {
+			t.Fatalf("mask %v round-trips to %v", m, back)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,rate=0.25,sites=data,meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Rate != 0.25 || p.Sites != SiteDRAMData.Mask()|SiteDRAMMeta.Mask() {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p2, err := ParsePlan(""); err != nil || p2 != nil {
+		t.Fatalf("empty spec: %v, %v", p2, err)
+	}
+	if p2, err := ParsePlan("none"); err != nil || p2 != nil {
+		t.Fatalf("none spec: %v, %v", p2, err)
+	}
+	for _, bad := range []string{"seed=x", "rate=2,sites=data", "sites=huh", "what=1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	// String() output re-parses to the same plan.
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *p {
+		t.Fatalf("round trip: %+v != %+v", back, p)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Plan{Rate: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (&Plan{Rate: 1.5}).Validate(); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if err := (&Plan{Rate: 0.5, Sites: AllSites + 1}).Validate(); err == nil {
+		t.Error("unknown site bits accepted")
+	}
+}
+
+func TestInjectorNilWhenDisabled(t *testing.T) {
+	if NewInjector(nil) != nil {
+		t.Error("nil plan built an injector")
+	}
+	if NewInjector(&Plan{Rate: 0, Sites: AllSites}) != nil {
+		t.Error("rate-0 plan built an injector")
+	}
+	if NewInjector(&Plan{Rate: 0.5}) != nil {
+		t.Error("no-site plan built an injector")
+	}
+}
+
+// TestInjectorDeterministic: two injectors from the same plan make
+// identical decisions over identical event streams.
+func TestInjectorDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 42, Rate: 0.01, Sites: AllSites}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 100000; i++ {
+		site := Site(i % int(NumSites))
+		addr := uint64(i) * 32
+		if a.Fire(site, addr) != b.Fire(site, addr) {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Fatal("no injections at rate 0.01 over 100k events")
+	}
+}
+
+// TestInjectorRate: the observed rate tracks the plan rate.
+func TestInjectorRate(t *testing.T) {
+	const n = 200000
+	for _, rate := range []float64{0.001, 0.05, 0.5, 1.0} {
+		in := NewInjector(&Plan{Seed: 1, Rate: rate, Sites: SiteDRAMData.Mask()})
+		for i := 0; i < n; i++ {
+			in.Fire(SiteDRAMData, uint64(i)*64)
+		}
+		got := float64(in.Stats().Injected[SiteDRAMData]) / n
+		if math.Abs(got-rate) > 0.2*rate+0.001 {
+			t.Errorf("rate %g: observed %g", rate, got)
+		}
+	}
+}
+
+// TestInjectorRateOne: rate 1 fires on every opportunity at an
+// enabled site and never at a disabled one.
+func TestInjectorRateOne(t *testing.T) {
+	in := NewInjector(&Plan{Rate: 1, Sites: SiteDRAMData.Mask()})
+	for i := 0; i < 1000; i++ {
+		if !in.Fire(SiteDRAMData, uint64(i)) {
+			t.Fatal("rate-1 opportunity did not fire")
+		}
+		if in.Fire(SiteIcntDrop, uint64(i)) {
+			t.Fatal("disabled site fired")
+		}
+	}
+	if got := in.Stats().Injected[SiteDRAMData]; got != 1000 {
+		t.Fatalf("injected %d, want 1000", got)
+	}
+}
+
+func TestFlipAddrs(t *testing.T) {
+	p := &Plan{Seed: 9}
+	flips := p.FlipAddrs(64, 1<<20)
+	if len(flips) != 64 {
+		t.Fatalf("got %d flips", len(flips))
+	}
+	seen := map[uint64]bool{}
+	for i, f := range flips {
+		if f.Addr >= 1<<20 {
+			t.Fatalf("flip %d out of range: %#x", i, f.Addr)
+		}
+		if f.Bit > 7 {
+			t.Fatalf("flip %d bit %d", i, f.Bit)
+		}
+		if seen[f.Addr] {
+			t.Fatalf("duplicate address %#x", f.Addr)
+		}
+		seen[f.Addr] = true
+		if i > 0 && flips[i-1].Addr > f.Addr {
+			t.Fatal("addresses not sorted")
+		}
+	}
+	again := p.FlipAddrs(64, 1<<20)
+	for i := range flips {
+		if flips[i] != again[i] {
+			t.Fatal("FlipAddrs not deterministic")
+		}
+	}
+	if (&Plan{Seed: 10}).FlipAddrs(64, 1<<20)[0] == flips[0] && (&Plan{Seed: 10}).FlipAddrs(64, 1<<20)[1] == flips[1] {
+		t.Fatal("different seeds produced the same campaign")
+	}
+	var nilPlan *Plan
+	if nilPlan.FlipAddrs(4, 100) != nil {
+		t.Fatal("nil plan produced flips")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var a, b Stats
+	a.Injected[SiteDRAMData] = 3
+	b.Injected[SiteDRAMData] = 4
+	b.Injected[SiteIcntDrop] = 2
+	a.Add(b)
+	if a.Injected[SiteDRAMData] != 7 || a.Injected[SiteIcntDrop] != 2 || a.Total() != 9 {
+		t.Fatalf("add: %+v", a)
+	}
+}

@@ -12,6 +12,18 @@ type DelayQueue[T any] struct {
 	latency uint64
 	items   []entry[T]
 	head    int
+	tap     func(T) int
+
+	// Stats counts what the queue moved (and what a fault tap did to
+	// it); cheap enough to keep unconditionally.
+	Stats Stats
+}
+
+// Stats counts queue traffic.
+type Stats struct {
+	Pushed, Delivered uint64
+	// Dropped/Duplicated count fault-tap interventions (see SetTap).
+	Dropped, Duplicated uint64
 }
 
 type entry[T any] struct {
@@ -24,13 +36,21 @@ func NewDelayQueue[T any](latency uint64) *DelayQueue[T] {
 	return &DelayQueue[T]{latency: latency}
 }
 
+// SetTap installs a delivery interceptor used by fault injection: at
+// delivery time tap(item) returns how many copies of the item to
+// deliver — 0 drops it (a lost message), 1 is normal, >1 duplicates
+// it (a replayed message). A nil tap (the default) costs nothing.
+func (q *DelayQueue[T]) SetTap(tap func(T) int) { q.tap = tap }
+
 // Push enqueues an item at cycle now; it becomes ready at now+latency.
 func (q *DelayQueue[T]) Push(now uint64, item T) {
+	q.Stats.Pushed++
 	q.items = append(q.items, entry[T]{readyAt: now + q.latency, item: item})
 }
 
 // PushAfter enqueues with an extra delay on top of the base latency.
 func (q *DelayQueue[T]) PushAfter(now uint64, extra uint64, item T) {
+	q.Stats.Pushed++
 	q.items = append(q.items, entry[T]{readyAt: now + q.latency + extra, item: item})
 }
 
@@ -41,8 +61,22 @@ func (q *DelayQueue[T]) PushAfter(now uint64, extra uint64, item T) {
 func (q *DelayQueue[T]) PopReady(now uint64) []T {
 	var out []T
 	for q.head < len(q.items) && q.items[q.head].readyAt <= now {
-		out = append(out, q.items[q.head].item)
+		item := q.items[q.head].item
 		q.head++
+		copies := 1
+		if q.tap != nil {
+			copies = q.tap(item)
+			switch {
+			case copies <= 0:
+				q.Stats.Dropped++
+			case copies > 1:
+				q.Stats.Duplicated += uint64(copies - 1)
+			}
+		}
+		for c := 0; c < copies; c++ {
+			out = append(out, item)
+			q.Stats.Delivered++
+		}
 	}
 	// Compact once the consumed prefix dominates.
 	if q.head > 1024 && q.head*2 > len(q.items) {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -229,19 +230,26 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 }
 
 // renderOne runs one experiment body against the memoized context,
-// converting a *RunError panic (a failed simulation) into the
-// result's Err so the sweep continues.
+// converting any recovered panic into the result's Err so the sweep
+// continues. A *RunError (a failed simulation) passes through with
+// its config; any other panic — a bug in the experiment body — is
+// wrapped, with its stack, instead of re-panicking and killing the
+// remaining experiments.
 func renderOne(ctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentResult) {
 	out.Experiment = e
 	t0 := time.Now()
 	defer func() {
 		out.Elapsed = time.Since(t0)
 		if r := recover(); r != nil {
-			re, ok := r.(*gpusecmem.RunError)
-			if !ok {
-				panic(r)
+			if re, ok := r.(*gpusecmem.RunError); ok {
+				out.Err = re
+				return
 			}
-			out.Err = re
+			out.Err = &gpusecmem.RunError{
+				Benchmark: "(experiment " + e.ID + ")",
+				Err:       fmt.Errorf("experiment panic: %v", r),
+				Stack:     string(debug.Stack()),
+			}
 		}
 	}()
 	out.Tables = e.Run(ctx)

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpusecmem/internal/cache"
+)
+
+// auditDeepPeriod is how often (in cycles) the O(state) leak audits
+// run; the O(SMs) conservation and queue-bound audits run every cycle.
+const auditDeepPeriod = 256
+
+// AuditError reports a violated simulator invariant: the machine's
+// bookkeeping went out of balance, which would otherwise surface (if
+// at all) as silently wrong results.
+type AuditError struct {
+	Benchmark string
+	Cycle     uint64
+	Check     string
+	Detail    string
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("sim: %s audit failed at cycle %d: %s: %s", e.Benchmark, e.Cycle, e.Check, e.Detail)
+}
+
+func (g *GPU) auditErr(check, format string, args ...interface{}) error {
+	return &AuditError{
+		Benchmark: g.gen.Name(),
+		Cycle:     g.now,
+		Check:     check,
+		Detail:    fmt.Sprintf(format, args...),
+	}
+}
+
+// audit runs the opt-in invariant checks after a completed cycle.
+//
+// Cheap (every cycle):
+//   - conservation: every issued load sector is tracked exactly once —
+//     the GPU's outstanding-load table matches the sum of what the SMs'
+//     blocked warps are waiting for;
+//   - queue bounds: every queued SM reply corresponds to an
+//     outstanding load; every pending DRAM fill destination has a live
+//     DRAM transaction.
+//
+// Deep (every auditDeepPeriod cycles and at the end of the run):
+//   - MSHR/line accounting in every L1, L2 bank, and metadata cache
+//     (free-list conservation, no phantom entries, no stale tokens).
+//
+// Auditing only reads state; it cannot perturb timing.
+func (g *GPU) audit(deep bool) error {
+	smOutstanding := 0
+	for _, sm := range g.sms {
+		smOutstanding += sm.OutstandingLoads()
+	}
+	if smOutstanding != len(g.loads) {
+		return g.auditErr("conservation", "SMs await %d sector completions but %d loads are tracked", smOutstanding, len(g.loads))
+	}
+	if q := g.toSM.Len(); q > len(g.loads) {
+		return g.auditErr("queue-bound", "toSM holds %d replies for %d outstanding loads", q, len(g.loads))
+	}
+	for _, p := range g.parts {
+		if len(p.dests) > p.dram.InFlight() {
+			return g.auditErr("queue-bound", "partition %d awaits %d DRAM fills but only %d transactions are live",
+				p.id, len(p.dests), p.dram.InFlight())
+		}
+	}
+	if !deep {
+		return nil
+	}
+	for i, l1 := range g.l1s {
+		if err := l1.AuditLeaks(); err != nil {
+			return g.auditErr("mshr-accounting", "SM %d: %v", i, err)
+		}
+	}
+	for _, p := range g.parts {
+		for bi, bank := range p.banks {
+			if err := bank.AuditLeaks(); err != nil {
+				return g.auditErr("mshr-accounting", "partition %d bank %d: %v", p.id, bi, err)
+			}
+		}
+		// With a unified configuration ctr/mac/tree alias one cache.
+		seen := map[*cache.Cache]bool{}
+		for _, mc := range []*cache.Cache{p.ctr, p.mac, p.tree} {
+			if mc == nil || seen[mc] {
+				continue
+			}
+			seen[mc] = true
+			if err := mc.AuditLeaks(); err != nil {
+				return g.auditErr("mshr-accounting", "partition %d: %v", p.id, err)
+			}
+		}
+	}
+	return nil
+}

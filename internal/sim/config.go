@@ -11,6 +11,8 @@ import (
 
 	"gpusecmem/internal/cache"
 	"gpusecmem/internal/dram"
+	"gpusecmem/internal/faults"
+	"gpusecmem/internal/geometry"
 )
 
 // EncryptionKind selects the data-path encryption scheme.
@@ -142,6 +144,24 @@ type Config struct {
 	// on partition 0's counter and MAC access streams.
 	ProfileReuse bool
 
+	// Faults is an optional deterministic fault-injection campaign
+	// (Section II-B's active physical adversary at cycle granularity).
+	// nil — and any plan with rate 0 — leaves the simulation
+	// byte-identical to an uninstrumented run.
+	Faults *faults.Plan
+
+	// Audit enables the per-cycle invariant auditors (request
+	// conservation, MSHR accounting, queue bounds). Auditing never
+	// changes timing; a violated invariant aborts the run with an
+	// *AuditError.
+	Audit bool
+
+	// WatchdogCycles is the forward-progress stall threshold: if no
+	// instruction issues and no load completes for this many cycles
+	// while loads are outstanding, the run aborts with a *StallError
+	// carrying a diagnostic dump. 0 disables the watchdog.
+	WatchdogCycles uint64
+
 	Secure SecureConfig
 }
 
@@ -167,6 +187,10 @@ func Baseline() Config {
 		DRAM:                dram.DefaultConfig(),
 		ProtectedBytes:      4 << 30,
 		MaxCycles:           60_000,
+		// A healthy machine completes loads every few hundred cycles at
+		// worst; 25k cycles of total silence with loads in flight is a
+		// wedge, not a workload.
+		WatchdogCycles: 25_000,
 		Secure: SecureConfig{
 			Encryption:        EncNone,
 			AESLatency:        40,
@@ -217,7 +241,10 @@ func DirectMem(aesLatency int, mac, tree bool) Config {
 	return cfg
 }
 
-// Validate reports configuration errors early.
+// Validate reports configuration errors early — including the cases
+// internal/cache and internal/dram would otherwise only catch with a
+// panic mid-construction (non-positive sizes/associativity, invalid
+// channel timing), so a bad config fails before simulation starts.
 func (c *Config) Validate() error {
 	switch {
 	case c.NumSMs <= 0:
@@ -236,6 +263,48 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: AESEngines must be positive with encryption enabled")
 	case c.Secure.ProtectedFraction < 0 || c.Secure.ProtectedFraction > 1:
 		return fmt.Errorf("sim: ProtectedFraction %f outside [0,1]", c.Secure.ProtectedFraction)
+	}
+	if err := validateCacheGeom("L1", c.L1Bytes, c.L1Assoc); err != nil {
+		return err
+	}
+	if err := validateCacheGeom("L2 bank", c.L2BankBytes, c.L2Assoc); err != nil {
+		return err
+	}
+	if c.L2BanksPerPartition <= 0 {
+		return fmt.Errorf("sim: L2BanksPerPartition must be positive")
+	}
+	if sc := &c.Secure; sc.Encryption != EncNone {
+		if sc.MetaAssoc <= 0 {
+			return fmt.Errorf("sim: MetaAssoc must be positive with encryption enabled")
+		}
+		if !sc.PerfectMeta && !sc.UnlimitedMeta {
+			if sc.Unified {
+				if err := validateCacheGeom("unified metadata cache", sc.UnifiedBytes, sc.MetaAssoc); err != nil {
+					return err
+				}
+			} else if err := validateCacheGeom("metadata cache", sc.MetaCacheBytes, sc.MetaAssoc); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// validateCacheGeom mirrors internal/cache.New's constructor panics as
+// errors: positive size and associativity, capacity a whole number of
+// lines and of sets.
+func validateCacheGeom(name string, sizeBytes, assoc int) error {
+	if assoc <= 0 {
+		return fmt.Errorf("sim: %s associativity must be positive (got %d)", name, assoc)
+	}
+	if sizeBytes <= 0 || sizeBytes%geometry.LineSize != 0 {
+		return fmt.Errorf("sim: %s size %d not a positive multiple of the %d B line", name, sizeBytes, geometry.LineSize)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpusecmem/internal/cache"
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/icnt"
 	"gpusecmem/internal/smcore"
@@ -46,6 +47,14 @@ type GPU struct {
 	now      uint64
 	tokenSeq uint64
 	loads    map[uint64]loadReq
+
+	// inj executes cfg.Faults; nil on the (zero-cost) no-fault path.
+	inj *faults.Injector
+	// completedLoads counts retirements; with issued instructions it
+	// forms the watchdog's forward-progress metric.
+	completedLoads uint64
+	lastProgress   uint64
+	lastProgressAt uint64
 }
 
 // New builds a GPU for cfg running the given workload generator.
@@ -81,6 +90,23 @@ func New(cfg Config, gen smcore.Generator) (*GPU, error) {
 	}
 	for p := 0; p < cfg.NumPartitions; p++ {
 		g.parts = append(g.parts, newPartition(p, g))
+	}
+	g.inj = faults.NewInjector(cfg.Faults)
+	if in := g.inj; in != nil &&
+		(cfg.Faults.Sites.Has(faults.SiteIcntDrop) || cfg.Faults.Sites.Has(faults.SiteIcntDup)) {
+		// Attack the response path: a dropped reply loses a completion
+		// (the victim warp wedges until the watchdog notices); a
+		// duplicated reply replays one (tolerated — the second delivery
+		// finds its load already retired).
+		g.toSM.SetTap(func(r smReply) int {
+			if in.Fire(faults.SiteIcntDrop, r.globalAddr) {
+				return 0
+			}
+			if in.Fire(faults.SiteIcntDup, r.globalAddr) {
+				return 2
+			}
+			return 1
+		})
 	}
 	return g, nil
 }
@@ -204,6 +230,7 @@ func (g *GPU) completeLoad(token uint64) {
 		return
 	}
 	delete(g.loads, token)
+	g.completedLoads++
 	g.sms[lr.sm].Complete(lr.warp, g.now)
 }
 
@@ -233,12 +260,28 @@ func (g *GPU) step() {
 	}
 }
 
-// Run simulates cfg.MaxCycles cycles and gathers the result.
-func (g *GPU) Run() *Result {
+// Run simulates cfg.MaxCycles cycles and gathers the result. It
+// returns a *StallError when the watchdog detects a forward-progress
+// stall and an *AuditError when an enabled invariant auditor finds the
+// machine's books out of balance; both carry diagnostic state.
+func (g *GPU) Run() (*Result, error) {
 	for g.now < g.cfg.MaxCycles {
 		g.step()
+		if g.cfg.Audit {
+			if err := g.audit(g.now%auditDeepPeriod == 0); err != nil {
+				return nil, err
+			}
+		}
+		if err := g.checkWatchdog(); err != nil {
+			return nil, err
+		}
 	}
-	return g.collect()
+	if g.cfg.Audit {
+		if err := g.audit(true); err != nil {
+			return nil, err
+		}
+	}
+	return g.collect(), nil
 }
 
 func (g *GPU) collect() *Result {
@@ -281,6 +324,13 @@ func (g *GPU) collect() *Result {
 			res.MACReuse = p.macReuse
 		}
 	}
+	res.Faults.Injected = g.inj.Stats().Injected
+	for _, p := range g.parts {
+		res.Faults.Detected += p.faultDetected
+		res.Faults.Silent += p.faultSilent
+	}
+	res.Faults.DroppedReplies = g.toSM.Stats.Dropped + g.toL2.Stats.Dropped
+	res.Faults.DuplicatedReplies = g.toSM.Stats.Duplicated + g.toL2.Stats.Duplicated
 	// Peak bytes/cycle per partition = BeatBytes / (BeatThirds/3).
 	perPart := uint64(g.cfg.DRAM.BeatBytes) * 3 / uint64(g.cfg.DRAM.BeatThirds)
 	res.PeakBandwidthBytes = perPart * uint64(g.cfg.NumPartitions) * g.now
@@ -301,10 +351,13 @@ func addStats(dst *cache.Stats, src cache.Stats) {
 // Run is the package-level convenience: build a GPU for cfg and the
 // named benchmark and simulate it.
 func Run(cfg Config, benchmark string) (*Result, error) {
-	gen := trace.New(benchmark)
+	gen, err := trace.New(benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	g, err := New(cfg, gen)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return g.Run(), nil
+	return g.Run()
 }

@@ -5,6 +5,7 @@ import (
 
 	"gpusecmem/internal/cache"
 	"gpusecmem/internal/dram"
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/stats"
 )
@@ -92,6 +93,10 @@ type partition struct {
 	replies replyHeap
 
 	metaStats [numMeta]MetaStats
+
+	// faultDetected / faultSilent classify injected corruptions by
+	// whether the configured protection level catches them.
+	faultDetected, faultSilent uint64
 
 	// protectedStripes is the number of 1 MB partition-local stripes
 	// out of 16 that the secure engine covers (selective encryption);
@@ -601,16 +606,51 @@ func (p *partition) tick(now uint64) {
 	}
 }
 
+// recordCorruption books one injected bit flip as detected (the
+// protection level would raise a verification error) or silent.
+func (p *partition) recordCorruption(detected bool) {
+	if detected {
+		p.faultDetected++
+	} else {
+		p.faultSilent++
+	}
+}
+
+// injectMeta gives the fault plan its two shots at a returning
+// metadata line: SiteDRAMMeta models the line corrupted at rest in
+// DRAM, SiteMetaFill models corruption on the fill path into the
+// metadata cache. Both are detected iff `covered` — whether the
+// configured protection level has a check that would miscompare.
+func (p *partition) injectMeta(in *faults.Injector, addr uint64, covered bool) {
+	if in.Fire(faults.SiteDRAMMeta, addr) {
+		p.recordCorruption(covered)
+	}
+	if in.Fire(faults.SiteMetaFill, addr) {
+		p.recordCorruption(covered)
+	}
+}
+
 func (p *partition) dispatch(d dest, now uint64) {
 	sc := &p.cfg.Secure
 	switch d.kind {
 	case destDataFill:
 		if rs, ok := p.reads[d.readID]; ok {
+			if in := p.gpu.inj; in != nil && in.Fire(faults.SiteDRAMData, rs.localAddr) {
+				// A flipped data line is caught only by a MAC over a
+				// protected address; decryption alone scrambles
+				// silently.
+				p.recordCorruption(sc.MAC && !rs.unprotected)
+			}
 			rs.dataDone = true
 			rs.dataReady = now
 			p.maybeReply(rs, now)
 		}
 	case destCtrFill:
+		if in := p.gpu.inj; in != nil {
+			// A corrupt counter fails the tree check directly, or the
+			// (stateful) MAC check indirectly via the wrong OTP.
+			p.injectMeta(in, d.addr, sc.Tree || sc.MAC)
+		}
 		fill := p.ctr.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
 			p.handleMetaWriteback(fill.Writeback, now)
@@ -621,6 +661,11 @@ func (p *partition) dispatch(d dest, now uint64) {
 			p.verifyWalkFromLeaf(leaf)
 		}
 	case destMACFill:
+		if in := p.gpu.inj; in != nil {
+			// A flipped stored MAC always miscompares against the
+			// recomputed one.
+			p.injectMeta(in, d.addr, true)
+		}
 		fill := p.mac.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
 			p.handleMetaWriteback(fill.Writeback, now)
@@ -631,6 +676,10 @@ func (p *partition) dispatch(d dest, now uint64) {
 			p.verifyWalkFromLeaf(leaf)
 		}
 	case destTreeFill:
+		if in := p.gpu.inj; in != nil {
+			// A flipped tree node fails its parent's hash check.
+			p.injectMeta(in, d.addr, true)
+		}
 		fill := p.tree.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
 			p.handleMetaWriteback(fill.Writeback, now)

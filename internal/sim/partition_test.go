@@ -266,7 +266,7 @@ func TestPartitionStatsAccounting(t *testing.T) {
 func TestGPUPartitionRouting(t *testing.T) {
 	cfg := Baseline()
 	cfg.MaxCycles = 100
-	g, err := New(cfg, trace.New("fdtd2d"))
+	g, err := New(cfg, trace.MustNew("fdtd2d"))
 	if err != nil {
 		t.Fatal(err)
 	}

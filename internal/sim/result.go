@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpusecmem/internal/cache"
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/stats"
 )
 
@@ -77,6 +78,34 @@ func (m MetaStats) MissRate() float64 { return stats.Ratio(m.Misses(), m.Accesse
 // SecondaryRatio is the Figure 5 metric.
 func (m MetaStats) SecondaryRatio() float64 { return stats.Ratio(m.MissesSecondary, m.Misses()) }
 
+// FaultStats summarizes a fault-injection campaign (Config.Faults):
+// how many corruptions were injected per site, and how the configured
+// protection level classified the bit-flip corruptions. The timing
+// simulator carries no data, so detection is modeled structurally at
+// the injection point: a data flip is caught iff the access is
+// MAC-protected; a counter flip iff a tree or (stateful) MAC covers
+// it; MAC-line and tree-node flips iff that metadata exists to
+// miscompare. The functional ground truth for the same model lives in
+// internal/secmem (see the ext-faultcoverage experiment).
+type FaultStats struct {
+	// Injected counts injections per site, indexed by faults.Site.
+	Injected [faults.NumSites]uint64
+	// Detected / Silent classify injected bit-flip corruptions.
+	Detected uint64
+	Silent   uint64
+	// DroppedReplies / DuplicatedReplies count interconnect-tap
+	// interventions (these exercise the watchdog, not detection).
+	DroppedReplies    uint64
+	DuplicatedReplies uint64
+}
+
+// Corruptions is the number of injected bit flips.
+func (f FaultStats) Corruptions() uint64 { return f.Detected + f.Silent }
+
+// DetectionRate is the fraction of bit-flip corruptions the protection
+// level catches.
+func (f FaultStats) DetectionRate() float64 { return stats.Ratio(f.Detected, f.Corruptions()) }
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	Benchmark string
@@ -107,6 +136,9 @@ type Result struct {
 	// PeakBandwidthBytes is the theoretical DRAM byte capacity of the
 	// run (peak bytes/cycle x cycles), for utilization.
 	PeakBandwidthBytes uint64
+
+	// Faults summarizes the injection campaign; all-zero without one.
+	Faults FaultStats
 }
 
 // IPC is thread-instructions per cycle.

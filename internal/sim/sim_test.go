@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
+	"gpusecmem/internal/faults"
 	"gpusecmem/internal/trace"
 )
 
@@ -29,6 +31,17 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.ProtectedBytes = 100 },
 		func(c *Config) { c.Secure.Encryption = EncDirect; c.Secure.Tree = true; c.Secure.MAC = false },
 		func(c *Config) { c.Secure.Encryption = EncCounter; c.Secure.AESEngines = 0 },
+		// Geometry and timing that used to panic deep inside cache.New
+		// and dram.New must be rejected up front.
+		func(c *Config) { c.L1Assoc = 0 },
+		func(c *Config) { c.L1Bytes = 100 }, // not a multiple of the line size
+		func(c *Config) { c.L2Assoc = -4 },
+		func(c *Config) { c.L2BanksPerPartition = 0 },
+		func(c *Config) { c.DRAM.Banks = 0 },
+		func(c *Config) { c.DRAM.RowHitCycles = c.DRAM.RowMissCycles + 1 },
+		func(c *Config) { c.DRAM.MaxIssuePerCycle = 0 },
+		func(c *Config) { c.Faults = &faults.Plan{Rate: 2} },
+		func(c *Config) { c.Faults = &faults.Plan{Rate: 0.1, Sites: faults.SiteMask(1 << 30)} },
 	}
 	for i, mutate := range bad {
 		cfg := Baseline()
@@ -44,12 +57,13 @@ func TestValidate(t *testing.T) {
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic from trace.New")
-		}
-	}()
-	_, _ = Run(Baseline(), "nonexistent")
+	_, err := Run(Baseline(), "nonexistent")
+	if err == nil {
+		t.Fatal("want error for unknown benchmark")
+	}
+	if !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("unexpected error: %v", err)
+	}
 }
 
 // TestDeterminism: identical configurations produce bit-identical
@@ -347,7 +361,7 @@ func TestRequestSharesSumToOne(t *testing.T) {
 func TestSmallKernelUsesFewSMs(t *testing.T) {
 	cfg := Baseline()
 	cfg.MaxCycles = 2000
-	gen := trace.New("nw")
+	gen := trace.MustNew("nw")
 	g, err := New(cfg, gen)
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +377,7 @@ func TestWarpOverride(t *testing.T) {
 	cfg := Baseline()
 	cfg.MaxCycles = 2000
 	cfg.WarpOverride = 3
-	g, err := New(cfg, trace.New("fdtd2d"))
+	g, err := New(cfg, trace.MustNew("fdtd2d"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +391,7 @@ func TestWarpOverride(t *testing.T) {
 func TestPartitionLocalAddressing(t *testing.T) {
 	cfg := Baseline()
 	cfg.MaxCycles = 1000
-	g, err := New(cfg, trace.New("fdtd2d"))
+	g, err := New(cfg, trace.MustNew("fdtd2d"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,12 +416,15 @@ func TestWritesReachDRAM(t *testing.T) {
 	if r.BytesByKind[KindData] == 0 {
 		t.Fatal("no data bytes at all")
 	}
-	g, err := New(Baseline(), trace.New("lbm"))
+	g, err := New(Baseline(), trace.MustNew("lbm"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.cfg.MaxCycles = testCycles
-	res := g.Run()
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.L2.Writebacks == 0 {
 		t.Fatal("lbm produced no L2 writebacks")
 	}

@@ -210,3 +210,16 @@ func (s *SM) BlockedWarps() int {
 	}
 	return n
 }
+
+// OutstandingLoads sums the sector completions the SM's blocked warps
+// still await — the SM side of the simulator's conservation audit
+// (every issued load retires exactly once).
+func (s *SM) OutstandingLoads() int {
+	n := 0
+	for w := range s.warps {
+		if s.warps[w].phase == phaseBlocked {
+			n += s.warps[w].outstanding
+		}
+	}
+	return n
+}

@@ -12,7 +12,12 @@
 // (sm, warp, iter), never from a global RNG.
 package trace
 
-import "gpusecmem/internal/smcore"
+import (
+	"fmt"
+	"strings"
+
+	"gpusecmem/internal/smcore"
+)
 
 // SectorSize is the coalesced access granularity (32 B).
 const SectorSize = 32
@@ -207,14 +212,24 @@ func blockBase(k *kernel, sm, warp, iter int) uint64 {
 }
 
 // New constructs the named benchmark generator. The names follow the
-// paper's Table IV. New panics on an unknown name; use Names for the
-// catalogue.
-func New(name string) smcore.Generator {
+// paper's Table IV; use Names for the catalogue. An unknown name is an
+// error, not a panic, so CLIs and sweeps can report it and continue.
+func New(name string) (smcore.Generator, error) {
 	cfg, ok := catalogue[name]
 	if !ok {
-		panic("trace: unknown benchmark " + name)
+		return nil, fmt.Errorf("trace: unknown benchmark %q (known: %s)", name, strings.Join(Names(), " "))
 	}
-	return &kernel{cfg: cfg.Config, base: patterns[cfg.patternName]}
+	return &kernel{cfg: cfg.Config, base: patterns[cfg.patternName]}, nil
+}
+
+// MustNew is New for static benchmark names (tests, examples); it
+// panics on an unknown name.
+func MustNew(name string) smcore.Generator {
+	gen, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return gen
 }
 
 // Names lists the benchmarks in the paper's Table IV order.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -10,7 +11,7 @@ func TestCatalogueComplete(t *testing.T) {
 		t.Fatalf("Table IV has 14 benchmarks, got %d", len(Names()))
 	}
 	for _, n := range Names() {
-		g := New(n)
+		g := MustNew(n)
 		if g.Name() != n {
 			t.Errorf("%s: Name() = %s", n, g.Name())
 		}
@@ -20,20 +21,25 @@ func TestCatalogueComplete(t *testing.T) {
 	}
 }
 
-func TestNewUnknownPanics(t *testing.T) {
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("no-such-benchmark"); err == nil {
+		t.Fatal("want error for unknown benchmark")
+	} else if !strings.Contains(err.Error(), "fdtd2d") {
+		t.Fatalf("error should list the valid benchmarks, got %q", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("want panic")
+			t.Fatal("want panic from MustNew")
 		}
 	}()
-	New("no-such-benchmark")
+	MustNew("no-such-benchmark")
 }
 
 // TestDeterminism: generators must be pure functions of (sm, warp,
 // iter) — the simulator and experiments rely on reproducible runs.
 func TestDeterminism(t *testing.T) {
 	for _, n := range Names() {
-		g1, g2 := New(n), New(n)
+		g1, g2 := MustNew(n), MustNew(n)
 		for iter := 0; iter < 50; iter++ {
 			a := g1.Next(3, 5, iter)
 			b := g2.Next(3, 5, iter)
@@ -53,7 +59,7 @@ func TestDeterminism(t *testing.T) {
 // benchmark's declared footprint and are sector-aligned.
 func TestAddressesInWorkingSet(t *testing.T) {
 	for _, n := range Names() {
-		g := New(n)
+		g := MustNew(n)
 		ws := catalogue[n].WorkingSet
 		for sm := 0; sm < 80; sm += 13 {
 			for w := 0; w < g.WarpsPerSM(); w += 3 {
@@ -75,7 +81,7 @@ func TestAddressesInWorkingSet(t *testing.T) {
 
 func TestOpsWellFormed(t *testing.T) {
 	for _, n := range Names() {
-		g := New(n)
+		g := MustNew(n)
 		sawMem := false
 		for iter := 0; iter < 30; iter++ {
 			op := g.Next(0, 0, iter)
@@ -95,7 +101,7 @@ func TestOpsWellFormed(t *testing.T) {
 // TestStreamingIsSequential: the stream pattern's consecutive steps of
 // one warp advance by the grid stride within its chunk.
 func TestStreamingIsSequential(t *testing.T) {
-	g := New("streamcluster") // single stream
+	g := MustNew("streamcluster") // single stream
 	a0 := g.Next(0, 0, 0).Sectors[0]
 	a1 := g.Next(0, 0, 1).Sectors[0]
 	want := uint64(blockWarps) * uint64(catalogue["streamcluster"].SectorsPer) * SectorSize
@@ -107,7 +113,7 @@ func TestStreamingIsSequential(t *testing.T) {
 // TestBlockNeighboursAdjacent: warps in the same block touch adjacent
 // line-sized positions at the same step (coalesced across the block).
 func TestBlockNeighboursAdjacent(t *testing.T) {
-	g := New("streamcluster")
+	g := MustNew("streamcluster")
 	stride := uint64(catalogue["streamcluster"].SectorsPer) * SectorSize
 	a := g.Next(0, 0, 0).Sectors[0]
 	b := g.Next(0, 1, 0).Sectors[0]
@@ -119,7 +125,7 @@ func TestBlockNeighboursAdjacent(t *testing.T) {
 // TestBlocksAreSpread: different blocks work on distant chunks — the
 // property that makes the concurrent metadata working set large.
 func TestBlocksAreSpread(t *testing.T) {
-	g := New("streamcluster")
+	g := MustNew("streamcluster")
 	a := g.Next(0, 0, 0).Sectors[0]  // block 0
 	b := g.Next(16, 0, 0).Sectors[0] // a later block (blocks span 32 warps)
 	if diff := int64(b) - int64(a); diff < 64*1024 && diff > -64*1024 {
@@ -130,7 +136,7 @@ func TestBlocksAreSpread(t *testing.T) {
 // TestGatherIsSpread: the gather pattern produces addresses spanning
 // most of the working set.
 func TestGatherIsSpread(t *testing.T) {
-	g := New("kmeans")
+	g := MustNew("kmeans")
 	ws := catalogue["kmeans"].WorkingSet
 	var lo, hi uint64 = ^uint64(0), 0
 	for iter := 0; iter < 200; iter++ {
@@ -150,7 +156,7 @@ func TestGatherIsSpread(t *testing.T) {
 // TestTreeIsRootBiased: shallow tree levels produce small addresses
 // far more often than deep levels, so the hot top of the tree caches.
 func TestTreeIsRootBiased(t *testing.T) {
-	g := New("b+tree")
+	g := MustNew("b+tree")
 	small := 0
 	total := 0
 	for w := 0; w < 8; w++ {
@@ -170,7 +176,7 @@ func TestTreeIsRootBiased(t *testing.T) {
 // TestBlockPatternTiny: compute-bound kernels touch a per-warp tile
 // small enough for 80 SMs' L1s.
 func TestBlockPatternTiny(t *testing.T) {
-	g := New("lavaMD")
+	g := MustNew("lavaMD")
 	seen := map[uint64]bool{}
 	for iter := 0; iter < 500; iter++ {
 		seen[g.Next(2, 3, iter).Sectors[0]/LineSize] = true
@@ -181,7 +187,7 @@ func TestBlockPatternTiny(t *testing.T) {
 }
 
 func TestWriteMix(t *testing.T) {
-	g := New("lbm") // WriteEvery: 2
+	g := MustNew("lbm") // WriteEvery: 2
 	writes := 0
 	for iter := 0; iter < 100; iter++ {
 		if g.Next(0, 0, iter).Write {
@@ -191,7 +197,7 @@ func TestWriteMix(t *testing.T) {
 	if writes != 50 {
 		t.Fatalf("lbm writes = %d/100, want 50", writes)
 	}
-	g = New("streamcluster") // read-only
+	g = MustNew("streamcluster") // read-only
 	for iter := 0; iter < 100; iter++ {
 		if g.Next(0, 0, iter).Write {
 			t.Fatal("streamcluster should be read-only")
