@@ -59,6 +59,7 @@ func main() {
 		progress   = flag.Bool("progress", false, "print a periodic progress line to stderr")
 		statsOut   = flag.String("stats-out", "", "write machine-readable per-run stats (JSON) to this file")
 		audit      = flag.Bool("audit", false, "run every simulation with invariant auditors enabled (changes memo keys; slower)")
+		debugAddr  = flag.String("debug-addr", "", "serve the sweep debug HTTP endpoint (live progress, expvar, pprof) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
@@ -99,8 +100,9 @@ func main() {
 	}
 
 	rep := runner.Run(ctx, selected, runner.Options{
-		Jobs:     *jobs,
-		Progress: *progress,
+		Jobs:      *jobs,
+		Progress:  *progress,
+		DebugAddr: *debugAddr,
 	})
 
 	failures := 0

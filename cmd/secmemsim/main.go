@@ -7,6 +7,9 @@
 //	secmemsim -bench fdtd2d -scheme ctr_mac_bmt -cycles 60000
 //	secmemsim -bench lbm -scheme direct_mac -aes-latency 80
 //	secmemsim -bench lbm -faults seed=1,rate=1e-4,sites=all -audit
+//	secmemsim -bench fdtd2d -probe                          # latency attribution
+//	secmemsim -bench fdtd2d -timeline out.ndjson -probe-interval 500
+//	secmemsim -bench fdtd2d -trace-out trace.json           # Perfetto trace
 //	secmemsim -list
 package main
 
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gpusecmem"
 )
@@ -51,13 +55,22 @@ func main() {
 		audit      = flag.Bool("audit", false, "run per-cycle invariant auditors")
 		watchdog   = flag.Uint64("watchdog", 0, "override watchdog stall threshold in cycles (0 = config default)")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
-		list       = flag.Bool("list", false, "list benchmarks and exit")
+		list       = flag.Bool("list", false, "list benchmarks and schemes, then exit")
+		probeSpans = flag.Bool("probe", false, "collect request-lifecycle spans and print the latency attribution")
+		timeline   = flag.String("timeline", "", "write a windowed timeline to this file (.csv extension selects CSV, anything else NDJSON)")
+		probeEvery = flag.Uint64("probe-interval", 500, "timeline sampling interval in cycles")
+		traceOut   = flag.String("trace-out", "", "write span records as Chrome trace-event JSON (Perfetto) to this file")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("benchmarks:")
 		for _, b := range gpusecmem.Benchmarks() {
-			fmt.Println(b)
+			fmt.Println("  " + b)
+		}
+		fmt.Println("schemes:")
+		for _, s := range gpusecmem.SchemeNames() {
+			fmt.Println("  " + s)
 		}
 		return
 	}
@@ -79,6 +92,17 @@ func main() {
 	}
 	cfg.Faults = plan
 
+	if *probeSpans || *timeline != "" || *traceOut != "" {
+		pc := &gpusecmem.ProbeConfig{
+			Spans: *probeSpans || *traceOut != "",
+			Trace: *traceOut != "",
+		}
+		if *timeline != "" {
+			pc.TimelineInterval = *probeEvery
+		}
+		cfg.Probe = pc
+	}
+
 	// The baseline comparison run stays fault-free and unaudited: it is
 	// only there to normalize IPC.
 	base := gpusecmem.BaselineConfig()
@@ -90,6 +114,10 @@ func main() {
 	res, err := gpusecmem.Simulate(cfg, *bench)
 	if err != nil {
 		fail(err)
+	}
+	if err := writeProbeFiles(res, *timeline, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if *asJSON {
@@ -131,6 +159,58 @@ func main() {
 			f.Detected, f.Corruptions(), 100*f.DetectionRate(), f.Silent)
 		fmt.Printf("replies dropped  %d, duplicated %d\n", f.DroppedReplies, f.DuplicatedReplies)
 	}
+	if res.Probe != nil && res.Probe.Spans != nil {
+		sp := res.Probe.Spans
+		fmt.Printf("spans traced     %d (%d unbalanced)\n", sp.Spans, sp.Unbalanced)
+		for _, kb := range sp.Kinds {
+			fmt.Printf("  %-5s n=%-9d mean=%-8.1f p50=%-6d p95=%-6d p99=%-6d max=%d\n",
+				kb.Kind, kb.Spans, kb.MeanLatency, kb.P50, kb.P95, kb.P99, kb.MaxLatency)
+			for _, st := range kb.Stages {
+				if st.Cycles == 0 {
+					continue
+				}
+				fmt.Printf("        %-7s %12d cycles (%5.1f%%)\n", st.Stage, st.Cycles, 100*st.Share)
+			}
+		}
+	}
+}
+
+// writeProbeFiles exports a probed run's timeline and trace artifacts.
+func writeProbeFiles(res *gpusecmem.Result, timeline, traceOut string) error {
+	pr := res.Probe
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(timeline, ".csv") {
+			err = gpusecmem.WriteTimelineCSV(f, pr.Timeline)
+		} else {
+			err = gpusecmem.WriteTimelineNDJSON(f, pr.Timeline)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "timeline -> %s (%d windows)\n", timeline, len(pr.Timeline))
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = gpusecmem.WriteChromeTrace(f, pr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace -> %s (%d spans)\n", traceOut, pr.TraceSpans())
+	}
+	return nil
 }
 
 // fail reports a simulation error; a watchdog stall also gets its

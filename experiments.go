@@ -13,6 +13,7 @@ import (
 	"gpusecmem/internal/cache"
 	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/probe"
 	"gpusecmem/internal/report"
 	"gpusecmem/internal/sim"
 	"gpusecmem/internal/stats"
@@ -471,6 +472,7 @@ func Experiments() []Experiment {
 		expAblationMergeCap(), expAblationAllocPolicy(), expAblationSpecVerify(),
 		expAblationLazyUpdate(), expAblationSectoredL2(),
 		expExtSmartUnified(), expExtSelective(), expExtFaultCoverage(),
+		expExtLatency(),
 	}
 }
 
@@ -1258,6 +1260,92 @@ func faultGroundTruth(plan *FaultPlan) *report.Table {
 		}
 	}
 	return t
+}
+
+// expExtLatency turns the probe layer on the paper's protection
+// ladder: request-lifecycle spans partition every data-request cycle
+// across pipeline stages (queue/l2/dram/meta/aes/verify), and the
+// metadata traffic kinds (ctr/mac/bmt) carry their own DRAM-residency
+// totals. The second table settles the "is it the AES latency or the
+// metadata traffic?" question quantitatively: metadata cycles are the
+// data path's meta-wait stage plus the total cycles of the ctr/mac/bmt
+// spans the scheme generated; AES cycles are the data path's aes
+// stage. With speculative verification the data path rarely *waits* on
+// metadata, but the metadata traffic itself occupies the memory system
+// for far more cycles than encryption ever does.
+func expExtLatency() Experiment {
+	return Experiment{
+		ID:    "ext-latency",
+		Title: "Extension: cycle-domain latency attribution",
+		PaperFinding: "(Section IV-B analysis) secure-memory slowdown comes from extra metadata " +
+			"traffic, not AES latency — attribution shows metadata cycles dwarf AES cycles " +
+			"for ctr_mac_bmt on memory-bound workloads",
+		Run: func(c *Context) []*report.Table {
+			levels := []struct {
+				Name string
+				Cfg  Config
+			}{
+				{"baseline", BaselineConfig()},
+				{"ctr", schemes["ctr"]()},
+				{"ctr_bmt", schemes["ctr_bmt"]()},
+				{"ctr_mac_bmt", SecureMemConfig()},
+				{"direct_mac_mt", schemes["direct_mac_mt"]()},
+			}
+			pc := &probe.Config{Spans: true}
+			stagesT := report.New("Data-request latency attribution (share of data-path cycles)",
+				"scheme", "benchmark", "spans", "mean", "p95",
+				"queue", "l2", "dram", "meta", "aes", "verify")
+			metaT := report.New("Metadata cycles vs AES cycles (data meta-wait + ctr/mac/bmt traffic residency)",
+				"scheme", "benchmark", "data meta", "ctr", "mac", "bmt", "metadata total", "aes", "meta/aes")
+			for _, lv := range levels {
+				for _, b := range ablationBenchmarks(c) {
+					cfg := lv.Cfg
+					cfg.Probe = pc
+					res := c.Run(cfg, b)
+					sp := probeSpans(res)
+					if sp == nil {
+						continue // planning placeholder
+					}
+					data := sp.Kind("data")
+					if data == nil {
+						continue
+					}
+					share := func(stage string) string {
+						return report.Pct(stats.Ratio(sp.Stage("data", stage), data.TotalCycles))
+					}
+					stagesT.AddRow(lv.Name, b, data.Spans,
+						fmt.Sprintf("%.0f", data.MeanLatency), data.P95,
+						share("queue"), share("l2"), share("dram"),
+						share("meta"), share("aes"), share("verify"))
+					traffic := func(kind string) uint64 {
+						if k := sp.Kind(kind); k != nil {
+							return k.TotalCycles
+						}
+						return 0
+					}
+					dmeta := sp.Stage("data", "meta")
+					ctr, mac, bmt := traffic("ctr"), traffic("mac"), traffic("bmt")
+					metaTotal := dmeta + ctr + mac + bmt
+					aes := sp.Stage("data", "aes")
+					ratio := "-"
+					if aes > 0 {
+						ratio = report.F3(float64(metaTotal) / float64(aes))
+					}
+					metaT.AddRow(lv.Name, b, dmeta, ctr, mac, bmt, metaTotal, aes, ratio)
+				}
+			}
+			return []*report.Table{stagesT, metaT}
+		},
+	}
+}
+
+// probeSpans extracts a run's span report, nil when the run was a
+// planning placeholder or carried no probe.
+func probeSpans(res *Result) *probe.SpansReport {
+	if res.Probe == nil {
+		return nil
+	}
+	return res.Probe.Spans
 }
 
 // SortedIDs returns the experiment ids in registry order (useful for

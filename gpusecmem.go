@@ -19,8 +19,11 @@
 package gpusecmem
 
 import (
+	"io"
+
 	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/probe"
 	"gpusecmem/internal/secmem"
 	"gpusecmem/internal/sim"
 	"gpusecmem/internal/trace"
@@ -153,3 +156,40 @@ type AuditError = sim.AuditError
 
 // Benchmarks lists the Table IV workloads in paper order.
 func Benchmarks() []string { return trace.Names() }
+
+// --- Observability ---
+
+// ProbeConfig selects the cycle-domain observability instruments of a
+// run (Config.Probe): request-lifecycle spans with per-stage latency
+// attribution, a windowed timeline sampler, and Chrome trace-event
+// records. A nil Config.Probe disables everything at zero cost and
+// leaves results byte-identical to an uninstrumented run.
+type ProbeConfig = probe.Config
+
+// ProbeReport is the observability output of a probed run
+// (Result.Probe): the latency-attribution breakdown plus timeline
+// samples.
+type ProbeReport = probe.Report
+
+// TimelineSample is one windowed timeline sample (ProbeReport
+// .Timeline).
+type TimelineSample = probe.Sample
+
+// WriteTimelineNDJSON writes timeline samples as newline-delimited
+// JSON, one window per line.
+func WriteTimelineNDJSON(w io.Writer, samples []TimelineSample) error {
+	return probe.WriteTimelineNDJSON(w, samples)
+}
+
+// WriteTimelineCSV writes timeline samples as CSV with a stable
+// header.
+func WriteTimelineCSV(w io.Writer, samples []TimelineSample) error {
+	return probe.WriteTimelineCSV(w, samples)
+}
+
+// WriteChromeTrace writes a probed run's retained span records in
+// Chrome trace-event JSON, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, r *ProbeReport) error {
+	return probe.WriteChromeTrace(w, r)
+}

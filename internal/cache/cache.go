@@ -590,6 +590,11 @@ func (c *Cache) Present(addr uint64) bool {
 	return w.sectorValid[c.sectorOf(addr)]
 }
 
+// MSHRsInUse reports how many MSHR entries are currently allocated —
+// the probe timeline's occupancy gauge. In Unlimited mode (no entry
+// budget) it is simply the number of lines in flight.
+func (c *Cache) MSHRsInUse() int { return len(c.mshrs) }
+
 // PendingFills reports how many fetch units are currently in flight
 // (MSHR-tracked sectors plus untracked bypass fetches) — used by the
 // simulator's stall diagnostics.

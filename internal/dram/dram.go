@@ -166,6 +166,19 @@ func (d *DRAM) QueueLen() int { return d.live }
 // InFlight reports queued plus issued-but-incomplete requests.
 func (d *DRAM) InFlight() int { return d.live + len(d.compl) }
 
+// BusyBanks reports how many banks are mid-access at core cycle now —
+// the probe timeline's bank-utilization gauge.
+func (d *DRAM) BusyBanks(now uint64) int {
+	now3 := now * 3
+	n := 0
+	for _, b := range d.bankBusy3 {
+		if b > now3 {
+			n++
+		}
+	}
+	return n
+}
+
 func (d *DRAM) bankOf(addr uint64) int { return int(addr>>8) % d.cfg.Banks }
 func (d *DRAM) rowOf(addr uint64) uint64 {
 	return addr >> 12 // 4 KB row granularity

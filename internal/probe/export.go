@@ -1,0 +1,163 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTimelineNDJSON emits one JSON object per timeline window, one
+// per line (newline-delimited JSON).
+func WriteTimelineNDJSON(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timelineColumns is the fixed CSV column set ahead of the per-kind
+// bytes/requests columns.
+var timelineColumns = []string{
+	"cycle", "instructions", "ipc", "dram_reads", "dram_writes",
+	"row_hit_rate", "ctr_miss_rate", "mac_miss_rate", "tree_miss_rate",
+	"meta_mshrs", "l2_mshrs", "dram_queue", "busy_banks", "outstanding_loads", "blocked_warps",
+}
+
+// WriteTimelineCSV emits the timeline as CSV with a stable header:
+// the fixed columns, then bytes_<kind> and requests_<kind> for every
+// kind observed (sorted).
+func WriteTimelineCSV(w io.Writer, samples []Sample) error {
+	kinds := map[string]bool{}
+	for i := range samples {
+		for k := range samples[i].Bytes {
+			kinds[k] = true
+		}
+	}
+	sorted := make([]string, 0, len(kinds))
+	for k := range kinds {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	header := append([]string(nil), timelineColumns...)
+	for _, k := range sorted {
+		header = append(header, "bytes_"+k)
+	}
+	for _, k := range sorted {
+		header = append(header, "requests_"+k)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for i := range samples {
+		s := &samples[i]
+		row := []string{
+			strconv.FormatUint(s.Cycle, 10),
+			strconv.FormatUint(s.Instructions, 10),
+			f(s.IPC),
+			strconv.FormatUint(s.DRAMReads, 10),
+			strconv.FormatUint(s.DRAMWrites, 10),
+			f(s.RowHitRate),
+			f(s.CtrMissRate),
+			f(s.MACMissRate),
+			f(s.TreeMissRate),
+			strconv.Itoa(s.MetaMSHRs),
+			strconv.Itoa(s.L2MSHRs),
+			strconv.Itoa(s.DRAMQueue),
+			strconv.Itoa(s.BusyBanks),
+			strconv.Itoa(s.OutstandingLoads),
+			strconv.Itoa(s.BlockedWarps),
+		}
+		for _, k := range sorted {
+			row = append(row, strconv.FormatUint(s.Bytes[k], 10))
+		}
+		for _, k := range sorted {
+			row = append(row, strconv.FormatUint(s.Requests[k], 10))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace-event (the JSON Array/Object format
+// Perfetto and chrome://tracing consume). Timestamps are in
+// microseconds; we map one simulated cycle to one microsecond.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceStageOrder lays span stages on the trace timeline in rough
+// chronological order (queue transit first, verification last).
+var traceStageOrder = [NumStages]Stage{
+	StageQueue, StageL2, StageDRAM, StageMeta, StageAES, StageVerify,
+}
+
+// WriteChromeTrace emits the report's retained span records in Chrome
+// trace-event format: one complete ("X") event per non-zero stage,
+// threaded by memory partition, plus thread-name metadata. Load the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, r *Report) error {
+	events := make([]traceEvent, 0, 2*len(r.trace)+8)
+	parts := map[int]bool{}
+	for _, rec := range r.trace {
+		kind := "?"
+		if int(rec.Kind) < len(r.kinds) {
+			kind = r.kinds[rec.Kind]
+		}
+		parts[int(rec.Part)] = true
+		ts := rec.Start
+		for _, st := range traceStageOrder {
+			d := uint64(rec.Stages[st])
+			if d == 0 {
+				continue
+			}
+			events = append(events, traceEvent{
+				Name: kind + ":" + st.String(),
+				Cat:  kind,
+				Ph:   "X",
+				Ts:   ts,
+				Dur:  d,
+				Pid:  0,
+				Tid:  int(rec.Part),
+			})
+			ts += d
+		}
+	}
+	meta := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "gpusecmem"},
+	}}
+	tids := make([]int, 0, len(parts))
+	for p := range parts {
+		tids = append(tids, p)
+	}
+	sort.Ints(tids)
+	for _, p := range tids {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": fmt.Sprintf("partition %d", p)},
+		})
+	}
+	out := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

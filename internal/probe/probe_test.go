@@ -1,0 +1,377 @@
+package probe
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistBuckets(t *testing.T) {
+	// bucket 0 holds zeros; bucket i holds 2^(i-1) <= v < 2^i.
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 31, 32},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	var h Hist
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	if h.Count != uint64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", h.Count, len(cases))
+	}
+	if h.Max != 1<<31 {
+		t.Fatalf("Max = %d, want %d", h.Max, 1<<31)
+	}
+	var sum uint64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if h.Sum != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum, sum)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// 100 observations of 100 cycles each: every quantile lands in the
+	// bucket [64, 128), whose reported bound is 64.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 64 {
+			t.Errorf("Quantile(%g) = %d, want 64", q, got)
+		}
+	}
+	// A tail observation moves only the top quantile.
+	h.Observe(100000)
+	if got := h.Quantile(0.5); got != 64 {
+		t.Errorf("median moved to %d after one outlier", got)
+	}
+	if got := h.Quantile(1.0); got != 1<<16 {
+		t.Errorf("Quantile(1.0) = %d, want %d", got, 1<<16)
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	var h Hist
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+	h.Observe(10)
+	h.Observe(20)
+	if h.Mean() != 15 {
+		t.Fatalf("Mean = %g, want 15", h.Mean())
+	}
+}
+
+func TestSpanCollectorConservation(t *testing.T) {
+	c := NewSpanCollector([]string{"data", "ctr"}, 0)
+	balanced := Span{Kind: 0, Start: 100, End: 150}
+	balanced.Stages[StageQueue] = 20
+	balanced.Stages[StageDRAM] = 30
+	c.Record(balanced)
+	if c.Unbalanced() != 0 {
+		t.Fatal("balanced span flagged unbalanced")
+	}
+
+	broken := Span{Kind: 0, Start: 100, End: 150}
+	broken.Stages[StageDRAM] = 49 // one cycle lost
+	c.Record(broken)
+	if c.Unbalanced() != 1 {
+		t.Fatalf("Unbalanced = %d, want 1", c.Unbalanced())
+	}
+	if c.Spans() != 2 {
+		t.Fatalf("Spans = %d, want 2", c.Spans())
+	}
+	if got := c.StageCycles(0, StageDRAM); got != 79 {
+		t.Fatalf("StageCycles(data, dram) = %d, want 79", got)
+	}
+	// Out-of-range kinds are ignored, not counted.
+	c.Record(Span{Kind: 7, Start: 0, End: 1})
+	c.Record(Span{Kind: -1, Start: 0, End: 1})
+	if c.Spans() != 2 {
+		t.Fatalf("out-of-range kind recorded: Spans = %d", c.Spans())
+	}
+}
+
+func TestSpanCollectorTraceCap(t *testing.T) {
+	c := NewSpanCollector([]string{"data"}, 2)
+	for i := 0; i < 5; i++ {
+		s := Span{Kind: 0, Start: uint64(i), End: uint64(i) + 10}
+		s.Stages[StageDRAM] = 10
+		c.Record(s)
+	}
+	if len(c.records) != 2 {
+		t.Fatalf("retained %d records, want 2", len(c.records))
+	}
+	if c.dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", c.dropped)
+	}
+	// All five still feed the histograms.
+	if c.Spans() != 5 {
+		t.Fatalf("Spans = %d, want 5", c.Spans())
+	}
+	rep := c.report()
+	if rep.Dropped != 3 {
+		t.Fatalf("report Dropped = %d, want 3", rep.Dropped)
+	}
+}
+
+func TestSpansReportLookups(t *testing.T) {
+	c := NewSpanCollector([]string{"data", "ctr"}, 0)
+	s := Span{Kind: 0, Start: 0, End: 40}
+	s.Stages[StageQueue] = 10
+	s.Stages[StageAES] = 30
+	c.Record(s)
+	rep := c.report()
+	if rep.Stage("data", "aes") != 30 {
+		t.Fatalf("Stage(data, aes) = %d", rep.Stage("data", "aes"))
+	}
+	if rep.Stage("ctr", "aes") != 0 || rep.Stage("data", "nope") != 0 {
+		t.Fatal("missing kind/stage must return 0")
+	}
+	kb := rep.Kind("data")
+	if kb == nil || kb.TotalCycles != 40 {
+		t.Fatalf("Kind(data) = %+v", kb)
+	}
+	if rep.Kind("ctr") != nil {
+		t.Fatal("untraced kind must be nil")
+	}
+	var share float64
+	for _, st := range kb.Stages {
+		share += st.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("stage shares sum to %g, want 1", share)
+	}
+}
+
+func TestTimelineRing(t *testing.T) {
+	tl := NewTimeline(100, 3, []string{"data"})
+	for i := 1; i <= 5; i++ {
+		tl.Observe(uint64(i*100), Totals{Instructions: uint64(i * 50)}, Instant{DRAMQueue: i})
+	}
+	if tl.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tl.Dropped())
+	}
+	got := tl.Samples()
+	if len(got) != 3 {
+		t.Fatalf("retained %d samples, want 3", len(got))
+	}
+	// Chronological order after wraparound: windows 3, 4, 5.
+	for i, want := range []uint64{300, 400, 500} {
+		if got[i].Cycle != want {
+			t.Fatalf("sample %d at cycle %d, want %d", i, got[i].Cycle, want)
+		}
+	}
+	// Windowed deltas: each window adds 50 instructions at interval 100.
+	for i, s := range got {
+		if s.Instructions != 50 {
+			t.Fatalf("sample %d instructions = %d, want 50", i, s.Instructions)
+		}
+		if s.IPC != 0.5 {
+			t.Fatalf("sample %d IPC = %g, want 0.5", i, s.IPC)
+		}
+	}
+	if got[2].DRAMQueue != 5 {
+		t.Fatalf("gauge not carried: DRAMQueue = %d", got[2].DRAMQueue)
+	}
+}
+
+func TestTimelineFirstWindowIsAbsolute(t *testing.T) {
+	tl := NewTimeline(100, 8, []string{"data"})
+	tl.Observe(100, Totals{Instructions: 42, BytesByKind: []uint64{128}}, Instant{})
+	s := tl.Samples()
+	if len(s) != 1 || s[0].Instructions != 42 || s[0].Bytes["data"] != 128 {
+		t.Fatalf("first window not absolute: %+v", s)
+	}
+}
+
+func makeSamples() []Sample {
+	tl := NewTimeline(500, 16, []string{"data", "ctr"})
+	tl.Observe(500, Totals{
+		Instructions: 1000, DRAMReads: 20, RowHits: 15, RowMisses: 5,
+		BytesByKind: []uint64{640, 128}, RequestsByKind: []uint64{20, 4},
+		MetaAccesses: [3]uint64{10, 0, 0}, MetaMisses: [3]uint64{4, 0, 0},
+	}, Instant{MetaMSHRs: 3, DRAMQueue: 7, BusyBanks: 2})
+	tl.Observe(1000, Totals{
+		Instructions: 1800, DRAMReads: 25, RowHits: 18, RowMisses: 7,
+		BytesByKind: []uint64{960, 192}, RequestsByKind: []uint64{30, 6},
+		MetaAccesses: [3]uint64{14, 0, 0}, MetaMisses: [3]uint64{5, 0, 0},
+	}, Instant{})
+	return tl.Samples()
+}
+
+func TestWriteTimelineNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimelineNDJSON(&buf, makeSamples()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var s Sample
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, makeSamples()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want header + 2 rows", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	want := len(timelineColumns) + 4 // bytes_ctr, bytes_data, requests_ctr, requests_data
+	if len(header) != want {
+		t.Fatalf("header has %d columns, want %d: %v", len(header), want, header)
+	}
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != want {
+			t.Fatalf("row has %d columns, want %d", got, want)
+		}
+	}
+	// Per-kind columns are sorted: ctr before data.
+	h := lines[0]
+	if strings.Index(h, "bytes_ctr") > strings.Index(h, "bytes_data") {
+		t.Fatal("per-kind columns not sorted")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := NewSpanCollector([]string{"data", "ctr"}, 16)
+	s := Span{Kind: 0, Part: 3, Start: 1000, End: 1100}
+	s.Stages[StageQueue] = 20
+	s.Stages[StageDRAM] = 60
+	s.Stages[StageAES] = 20
+	c.Record(s)
+	st := &State{kinds: []string{"data", "ctr"}, Spans: c}
+	rep := st.Report()
+	if rep.TraceSpans() != 1 {
+		t.Fatalf("TraceSpans = %d, want 1", rep.TraceSpans())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var xs, ms int
+	var end uint64
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xs++
+			if e.Tid != 3 {
+				t.Fatalf("event on tid %d, want partition 3", e.Tid)
+			}
+			if e.Ts+e.Dur > end {
+				end = e.Ts + e.Dur
+			}
+		case "M":
+			ms++
+		}
+	}
+	if xs != 3 {
+		t.Fatalf("%d X events, want 3 (one per non-zero stage)", xs)
+	}
+	if ms < 2 {
+		t.Fatalf("%d metadata events, want process + thread names", ms)
+	}
+	// Stages tile the span contiguously from its start.
+	if end != 1100 {
+		t.Fatalf("stages end at %d, want 1100", end)
+	}
+}
+
+func TestConfigEnabledAndValidate(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Fatal("nil config enabled")
+	}
+	if err := nilCfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	for _, c := range []Config{{Spans: true}, {Trace: true}, {TimelineInterval: 100}} {
+		if !c.Enabled() {
+			t.Fatalf("config %+v not enabled", c)
+		}
+	}
+	if err := (&Config{TimelineCap: -1}).Validate(); err == nil {
+		t.Fatal("negative TimelineCap accepted")
+	}
+	if err := (&Config{TraceCap: -1}).Validate(); err == nil {
+		t.Fatal("negative TraceCap accepted")
+	}
+}
+
+func TestNewState(t *testing.T) {
+	kinds := []string{"data"}
+	if NewState(nil, kinds) != nil {
+		t.Fatal("nil config must produce nil state")
+	}
+	if NewState(&Config{}, kinds) != nil {
+		t.Fatal("disabled config must produce nil state")
+	}
+	var nilState *State
+	if nilState.Report() != nil {
+		t.Fatal("nil state Report must be nil")
+	}
+
+	s := NewState(&Config{Spans: true}, kinds)
+	if s == nil || s.Spans == nil || s.Timeline != nil {
+		t.Fatalf("spans-only state wrong: %+v", s)
+	}
+	if s.Spans.traceCap != 0 {
+		t.Fatal("spans without trace must not retain records")
+	}
+	s = NewState(&Config{Trace: true}, kinds)
+	if s.Spans == nil || s.Spans.traceCap != DefaultTraceCap {
+		t.Fatal("trace must imply span collection with the default cap")
+	}
+	s = NewState(&Config{TimelineInterval: 500}, kinds)
+	if s.Timeline == nil || s.Spans != nil {
+		t.Fatalf("timeline-only state wrong: %+v", s)
+	}
+	if s.Timeline.Interval() != 500 {
+		t.Fatalf("interval = %d", s.Timeline.Interval())
+	}
+}

@@ -1,0 +1,164 @@
+package probe
+
+// Totals is the cumulative-counter snapshot the simulator hands the
+// timeline every sampling interval; the sampler differences
+// consecutive snapshots into windowed rates.
+type Totals struct {
+	Instructions   uint64
+	DRAMReads      uint64
+	DRAMWrites     uint64
+	RowHits        uint64
+	RowMisses      uint64
+	BytesByKind    []uint64
+	RequestsByKind []uint64
+	// Metadata cache accesses/misses, indexed like the caller's
+	// MetaKind space (counter, MAC, tree).
+	MetaAccesses [3]uint64
+	MetaMisses   [3]uint64
+}
+
+// Instant is the gauge snapshot taken at the sampling cycle.
+type Instant struct {
+	MetaMSHRs        int
+	L2MSHRs          int
+	DRAMQueue        int
+	BusyBanks        int
+	OutstandingLoads int
+	BlockedWarps     int
+}
+
+// Sample is one timeline window: rates over [Cycle-interval, Cycle)
+// plus end-of-window gauges.
+type Sample struct {
+	Cycle uint64 `json:"cycle"`
+
+	// Windowed deltas.
+	Instructions uint64            `json:"instructions"`
+	IPC          float64           `json:"ipc"`
+	DRAMReads    uint64            `json:"dram_reads"`
+	DRAMWrites   uint64            `json:"dram_writes"`
+	RowHitRate   float64           `json:"row_hit_rate"`
+	Bytes        map[string]uint64 `json:"bytes"`
+	Requests     map[string]uint64 `json:"requests"`
+	CtrMissRate  float64           `json:"ctr_miss_rate"`
+	MACMissRate  float64           `json:"mac_miss_rate"`
+	TreeMissRate float64           `json:"tree_miss_rate"`
+
+	// End-of-window gauges.
+	MetaMSHRs        int `json:"meta_mshrs"`
+	L2MSHRs          int `json:"l2_mshrs"`
+	DRAMQueue        int `json:"dram_queue"`
+	BusyBanks        int `json:"busy_banks"`
+	OutstandingLoads int `json:"outstanding_loads"`
+	BlockedWarps     int `json:"blocked_warps"`
+}
+
+// Timeline is the windowed sampler: a ring buffer of the most recent
+// capacity windows. Older windows are evicted (and counted) rather
+// than letting a multi-hour sweep grow without bound.
+type Timeline struct {
+	interval uint64
+	capacity int
+	kinds    []string
+	prev     Totals
+	havePrev bool
+
+	samples []Sample
+	head    int // ring start when full
+	dropped uint64
+}
+
+// NewTimeline builds a sampler with the given interval (cycles per
+// window), ring capacity, and traffic-kind labels.
+func NewTimeline(interval uint64, capacity int, kinds []string) *Timeline {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Timeline{interval: interval, capacity: capacity, kinds: kinds}
+}
+
+// Interval is the sampling period in cycles.
+func (t *Timeline) Interval() uint64 { return t.interval }
+
+// Dropped counts windows evicted from the ring.
+func (t *Timeline) Dropped() uint64 { return t.dropped }
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Observe closes the current window at cycle `now`: cumulative totals
+// are differenced against the previous window's, gauges are taken
+// as-is.
+func (t *Timeline) Observe(now uint64, tot Totals, inst Instant) {
+	s := Sample{
+		Cycle:            now,
+		MetaMSHRs:        inst.MetaMSHRs,
+		L2MSHRs:          inst.L2MSHRs,
+		DRAMQueue:        inst.DRAMQueue,
+		BusyBanks:        inst.BusyBanks,
+		OutstandingLoads: inst.OutstandingLoads,
+		BlockedWarps:     inst.BlockedWarps,
+		Bytes:            make(map[string]uint64, len(t.kinds)),
+		Requests:         make(map[string]uint64, len(t.kinds)),
+	}
+	prev := t.prev
+	if !t.havePrev {
+		prev = Totals{
+			BytesByKind:    make([]uint64, len(tot.BytesByKind)),
+			RequestsByKind: make([]uint64, len(tot.RequestsByKind)),
+		}
+	}
+	s.Instructions = tot.Instructions - prev.Instructions
+	if t.interval > 0 {
+		s.IPC = float64(s.Instructions) / float64(t.interval)
+	}
+	s.DRAMReads = tot.DRAMReads - prev.DRAMReads
+	s.DRAMWrites = tot.DRAMWrites - prev.DRAMWrites
+	s.RowHitRate = ratio(tot.RowHits-prev.RowHits,
+		(tot.RowHits-prev.RowHits)+(tot.RowMisses-prev.RowMisses))
+	for k, label := range t.kinds {
+		var b, r uint64
+		if k < len(tot.BytesByKind) {
+			b = tot.BytesByKind[k]
+			if k < len(prev.BytesByKind) {
+				b -= prev.BytesByKind[k]
+			}
+		}
+		if k < len(tot.RequestsByKind) {
+			r = tot.RequestsByKind[k]
+			if k < len(prev.RequestsByKind) {
+				r -= prev.RequestsByKind[k]
+			}
+		}
+		s.Bytes[label] = b
+		s.Requests[label] = r
+	}
+	s.CtrMissRate = ratio(tot.MetaMisses[0]-prev.MetaMisses[0], tot.MetaAccesses[0]-prev.MetaAccesses[0])
+	s.MACMissRate = ratio(tot.MetaMisses[1]-prev.MetaMisses[1], tot.MetaAccesses[1]-prev.MetaAccesses[1])
+	s.TreeMissRate = ratio(tot.MetaMisses[2]-prev.MetaMisses[2], tot.MetaAccesses[2]-prev.MetaAccesses[2])
+
+	t.prev = tot
+	t.havePrev = true
+	if len(t.samples) < t.capacity {
+		t.samples = append(t.samples, s)
+		return
+	}
+	t.samples[t.head] = s
+	t.head = (t.head + 1) % t.capacity
+	t.dropped++
+}
+
+// Samples returns the retained windows in chronological order.
+func (t *Timeline) Samples() []Sample {
+	if t.head == 0 {
+		return append([]Sample(nil), t.samples...)
+	}
+	out := make([]Sample, 0, len(t.samples))
+	out = append(out, t.samples[t.head:]...)
+	out = append(out, t.samples[:t.head]...)
+	return out
+}

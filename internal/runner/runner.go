@@ -39,6 +39,10 @@ type Options struct {
 	ProgressOut io.Writer
 	// ProgressInterval is the ticker period (default 1s).
 	ProgressInterval time.Duration
+	// DebugAddr, when non-empty, serves the sweep debug HTTP endpoint
+	// (live progress, expvar, pprof) on that address for the duration
+	// of the sweep. See NewDebugHandler.
+	DebugAddr string
 }
 
 // ExperimentResult is one rendered experiment, or its failure.
@@ -142,6 +146,15 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 	rep := &Report{Jobs: jobs, PlannedRuns: len(plan)}
 
 	var done, failed atomic.Int64
+	if opts.DebugAddr != "" {
+		out := opts.ProgressOut
+		if out == nil {
+			out = os.Stderr
+		}
+		activeSweep.Store(&sweepState{jobs: jobs, planned: len(plan), done: &done, failed: &failed, start: start})
+		stopDebug := startDebugServer(opts.DebugAddr, out)
+		defer stopDebug()
+	}
 	stopProgress := startProgress(opts, len(plan), &done, &failed, start)
 
 	specs := make(chan gpusecmem.RunSpec)

@@ -13,6 +13,7 @@ import (
 	"gpusecmem/internal/dram"
 	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
+	"gpusecmem/internal/probe"
 )
 
 // EncryptionKind selects the data-path encryption scheme.
@@ -149,6 +150,15 @@ type Config struct {
 	// nil — and any plan with rate 0 — leaves the simulation
 	// byte-identical to an uninstrumented run.
 	Faults *faults.Plan
+
+	// Probe is an optional cycle-domain observability configuration
+	// (internal/probe): request-lifecycle spans with per-stage latency
+	// attribution, a windowed timeline sampler, and Chrome trace-event
+	// records. nil disables every instrument, leaving the hot paths a
+	// single pointer comparison; probes only observe, so a probed run's
+	// Result (minus the probe report itself) is byte-identical to an
+	// unprobed one.
+	Probe *probe.Config
 
 	// Audit enables the per-cycle invariant auditors (request
 	// conservation, MSHR accounting, queue bounds). Auditing never
@@ -291,6 +301,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := c.Probe.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil

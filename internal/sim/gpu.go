@@ -7,6 +7,7 @@ import (
 	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/icnt"
+	"gpusecmem/internal/probe"
 	"gpusecmem/internal/smcore"
 	"gpusecmem/internal/trace"
 )
@@ -50,6 +51,9 @@ type GPU struct {
 
 	// inj executes cfg.Faults; nil on the (zero-cost) no-fault path.
 	inj *faults.Injector
+	// probe carries the observability instruments; nil on the
+	// (zero-cost) unprobed path.
+	probe *probe.State
 	// completedLoads counts retirements; with issued instructions it
 	// forms the watchdog's forward-progress metric.
 	completedLoads uint64
@@ -92,6 +96,7 @@ func New(cfg Config, gen smcore.Generator) (*GPU, error) {
 		g.parts = append(g.parts, newPartition(p, g))
 	}
 	g.inj = faults.NewInjector(cfg.Faults)
+	g.probe = probe.NewState(cfg.Probe, kindLabels())
 	if in := g.inj; in != nil &&
 		(cfg.Faults.Sites.Has(faults.SiteIcntDrop) || cfg.Faults.Sites.Has(faults.SiteIcntDup)) {
 		// Attack the response path: a dropped reply loses a completion
@@ -258,6 +263,9 @@ func (g *GPU) step() {
 	for _, sm := range g.sms {
 		sm.Tick(g.now, g.issueMem)
 	}
+	if g.probe != nil {
+		g.sampleProbe()
+	}
 }
 
 // Run simulates cfg.MaxCycles cycles and gathers the result. It
@@ -334,6 +342,7 @@ func (g *GPU) collect() *Result {
 	// Peak bytes/cycle per partition = BeatBytes / (BeatThirds/3).
 	perPart := uint64(g.cfg.DRAM.BeatBytes) * 3 / uint64(g.cfg.DRAM.BeatThirds)
 	res.PeakBandwidthBytes = perPart * uint64(g.cfg.NumPartitions) * g.now
+	res.Probe = g.probe.Report()
 	return res
 }
 

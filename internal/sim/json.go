@@ -1,22 +1,32 @@
 package sim
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"gpusecmem/internal/probe"
+	"gpusecmem/internal/stats"
+)
 
 // resultJSON is the stable wire form of a Result: derived metrics are
-// materialized so downstream analysis needs no simulator code.
+// materialized so downstream analysis needs no simulator code. The
+// optional sections (reuse profiles, probe report) are omitempty so an
+// uninstrumented run's JSON stays byte-identical across versions.
 type resultJSON struct {
-	Benchmark     string             `json:"benchmark"`
-	Cycles        uint64             `json:"cycles"`
-	Instructions  uint64             `json:"instructions"`
-	IPC           float64            `json:"ipc"`
-	BandwidthUtil float64            `json:"bandwidth_utilization"`
-	Requests      map[string]uint64  `json:"dram_requests"`
-	Bytes         map[string]uint64  `json:"dram_bytes"`
-	L1MissRate    float64            `json:"l1_miss_rate"`
-	L2MissRate    float64            `json:"l2_miss_rate"`
-	L2Accesses    uint64             `json:"l2_accesses"`
-	Meta          map[string]metaOut `json:"metadata"`
-	RowHitRate    float64            `json:"dram_row_hit_rate"`
+	Benchmark     string               `json:"benchmark"`
+	Cycles        uint64               `json:"cycles"`
+	Instructions  uint64               `json:"instructions"`
+	IPC           float64              `json:"ipc"`
+	BandwidthUtil float64              `json:"bandwidth_utilization"`
+	Requests      map[string]uint64    `json:"dram_requests"`
+	Bytes         map[string]uint64    `json:"dram_bytes"`
+	L1MissRate    float64              `json:"l1_miss_rate"`
+	L2MissRate    float64              `json:"l2_miss_rate"`
+	L2Accesses    uint64               `json:"l2_accesses"`
+	Meta          map[string]metaOut   `json:"metadata"`
+	RowHitRate    float64              `json:"dram_row_hit_rate"`
+	CounterReuse  *stats.ReuseProfiler `json:"counter_reuse,omitempty"`
+	MACReuse      *stats.ReuseProfiler `json:"mac_reuse,omitempty"`
+	Probe         *probe.Report        `json:"probe,omitempty"`
 }
 
 type metaOut struct {
@@ -57,5 +67,8 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 	if hm := r.RowHits + r.RowMisses; hm > 0 {
 		out.RowHitRate = float64(r.RowHits) / float64(hm)
 	}
+	out.CounterReuse = r.CounterReuse
+	out.MACReuse = r.MACReuse
+	out.Probe = r.Probe
 	return json.Marshal(out)
 }

@@ -26,6 +26,8 @@ type dest struct {
 	readID uint64 // waiting read for destDataFill / bypass metadata fetches
 	bypass bool
 	write  bool
+	// issuedAt is the enqueue cycle, kept for probe span attribution.
+	issuedAt uint64
 }
 
 // readState tracks one in-flight L2 read miss through the secure
@@ -41,7 +43,10 @@ type readState struct {
 	dataDone, ctrDone, macDone bool
 	// unprotected marks reads outside the selective-encryption range:
 	// no crypto on the reply path.
-	unprotected         bool
+	unprotected bool
+	// arrivedAt is the cycle the miss reached the partition, kept for
+	// probe span attribution.
+	arrivedAt           uint64
 	dataReady, ctrReady uint64
 	macReady            uint64
 	replied             bool
@@ -252,6 +257,9 @@ func (p *partition) handleL2Read(globalAddr, localAddr, token uint64, now uint64
 	acc := p.banks[bank].Access(localAddr, false, token)
 	switch {
 	case acc.Outcome == cache.Hit:
+		if pr := p.gpu.probe; pr != nil {
+			p.recordHitSpan(pr, now)
+		}
 		p.gpu.scheduleReply(now+p.cfg.L2Latency, globalAddr, []uint64{token})
 	case acc.NeedFetch:
 		p.startRead(globalAddr, localAddr, token, acc.Bypass, bank, now)
@@ -277,6 +285,7 @@ func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool
 		l2Token:    token,
 		l2Bypass:   l2Bypass,
 		l2Bank:     bank,
+		arrivedAt:  now,
 	}
 	p.reads[rs.id] = rs
 	// Data fetch.
@@ -322,7 +331,7 @@ func (p *partition) counterAccess(rs *readState, now uint64) {
 	}
 	if acc.NeedFetch {
 		dt := p.gpu.newToken()
-		d := dest{kind: destCtrFill, addr: ctrAddr, bypass: acc.Bypass}
+		d := dest{kind: destCtrFill, addr: ctrAddr, bypass: acc.Bypass, issuedAt: now}
 		if acc.Bypass {
 			d.readID = rs.id
 		}
@@ -353,7 +362,7 @@ func (p *partition) macAccess(rs *readState, now uint64) {
 	}
 	if acc.NeedFetch {
 		dt := p.gpu.newToken()
-		d := dest{kind: destMACFill, addr: macLine, bypass: acc.Bypass}
+		d := dest{kind: destMACFill, addr: macLine, bypass: acc.Bypass, issuedAt: now}
 		if acc.Bypass {
 			d.readID = rs.id
 		}
@@ -377,20 +386,23 @@ func (p *partition) maybeReply(rs *readState, now uint64) {
 	if !sc.SpeculativeVerify && sc.MAC && !rs.macDone {
 		return
 	}
-	var at uint64
+	// otpReady / encDone / verifyDone stay at zero on paths that do not
+	// compute them; recordReadSpan uses them for stage attribution.
+	var at, otpReady, encDone, verifyDone uint64
 	switch {
 	case rs.unprotected || sc.Encryption == EncNone:
 		at = rs.dataReady
 	case sc.Encryption == EncCounter:
 		// OTP generation starts when the counter is known; the pad is
 		// XORed when both pad and data are present.
-		otpReady := p.aesSchedule(rs.ctrReady)
+		otpReady = p.aesSchedule(rs.ctrReady)
 		at = rs.dataReady
 		if otpReady > at {
 			at = otpReady
 		}
 	default: // EncDirect: decryption starts after the ciphertext arrives.
-		at = p.aesSchedule(rs.dataReady)
+		encDone = p.aesSchedule(rs.dataReady)
+		at = encDone
 	}
 	if sc.MAC && !rs.unprotected {
 		if !sc.SpeculativeVerify {
@@ -399,6 +411,7 @@ func (p *partition) maybeReply(rs *readState, now uint64) {
 				v = rs.dataReady
 			}
 			v = p.macSchedule(v)
+			verifyDone = v
 			if v > at {
 				at = v
 			}
@@ -411,6 +424,9 @@ func (p *partition) maybeReply(rs *readState, now uint64) {
 		at = now + 1
 	}
 	rs.replied = true
+	if pr := p.gpu.probe; pr != nil {
+		p.recordReadSpan(pr, rs, otpReady, encDone, verifyDone, at)
+	}
 	heap.Push(&p.replies, replyEvent{at: at, readID: rs.id})
 }
 
@@ -461,10 +477,10 @@ func (p *partition) handleDataWriteback(ev *cache.Eviction, now uint64) {
 		if p.ctrReuse != nil {
 			p.ctrReuse.Touch(ctrAddr / geometry.LineSize)
 		}
-		p.metaWriteAccess(MetaCounter, p.ctr, ctrAddr, destCtrFill, KindCounter)
+		p.metaWriteAccess(MetaCounter, p.ctr, ctrAddr, destCtrFill, KindCounter, now)
 		if sc.Tree && !sc.LazyTreeUpdate {
 			level, idx, _ := p.lay.LeafParent(p.lay.CounterLine(ev.LineAddr))
-			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx), now)
 		}
 	}
 	if sc.MAC {
@@ -476,17 +492,17 @@ func (p *partition) handleDataWriteback(ev *cache.Eviction, now uint64) {
 		if p.macReuse != nil {
 			p.macReuse.Touch(macLine / geometry.LineSize)
 		}
-		p.metaWriteAccess(MetaMAC, p.mac, macAddr, destMACFill, KindMAC)
+		p.metaWriteAccess(MetaMAC, p.mac, macAddr, destMACFill, KindMAC, now)
 		if sc.Encryption == EncDirect && sc.Tree && !sc.LazyTreeUpdate {
 			level, idx, _ := p.lay.LeafParent(p.lay.MACLine(ev.LineAddr))
-			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx), now)
 		}
 	}
 }
 
 // metaWriteAccess performs a read-modify-write access to a metadata
 // cache, fetching the line on a miss.
-func (p *partition) metaWriteAccess(mk MetaKind, c *cache.Cache, addr uint64, fillKind destKind, traffic TrafficKind) {
+func (p *partition) metaWriteAccess(mk MetaKind, c *cache.Cache, addr uint64, fillKind destKind, traffic TrafficKind, now uint64) {
 	ms := &p.metaStats[mk]
 	ms.Accesses++
 	acc := c.Access(addr, true, 0)
@@ -498,24 +514,20 @@ func (p *partition) metaWriteAccess(mk MetaKind, c *cache.Cache, addr uint64, fi
 		ms.MissesSecondary++
 	}
 	if acc.Writeback != nil { // allocate-on-miss reservation
-		p.handleMetaWriteback(acc.Writeback, now0)
+		p.handleMetaWriteback(acc.Writeback, now)
 	}
 	if acc.NeedFetch {
 		lineAddr := addr / geometry.LineSize * geometry.LineSize
 		dt := p.gpu.newToken()
-		p.dests[dt] = dest{kind: fillKind, addr: lineAddr, bypass: acc.Bypass, write: true}
+		p.dests[dt] = dest{kind: fillKind, addr: lineAddr, bypass: acc.Bypass, write: true, issuedAt: now}
 		p.dram.Enqueue(dram.Request{Addr: lineAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(traffic)})
 	}
 }
 
-// now0 is a placeholder cycle for paths where the exact cycle of a
-// posted write does not change behaviour.
-const now0 = 0
-
 // treeWriteAccess updates a tree node in the tree cache (lazy-update
 // parent propagation).
-func (p *partition) treeWriteAccess(nodeAddr uint64) {
-	p.metaWriteAccess(MetaTree, p.tree, nodeAddr, destTreeFill, KindTree)
+func (p *partition) treeWriteAccess(nodeAddr uint64, now uint64) {
+	p.metaWriteAccess(MetaTree, p.tree, nodeAddr, destTreeFill, KindTree, now)
 }
 
 // handleMetaWriteback processes a dirty metadata-cache eviction: the
@@ -530,17 +542,17 @@ func (p *partition) handleMetaWriteback(ev *cache.Eviction, now uint64) {
 	case geometry.RegionCounter:
 		leaf := (ev.LineAddr - p.lay.CounterBase) / geometry.LineSize
 		level, idx, _ := p.lay.LeafParent(leaf)
-		p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+		p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx), now)
 	case geometry.RegionMAC:
 		if sc.Encryption == EncDirect {
 			leaf := (ev.LineAddr - p.lay.MACBase) / geometry.LineSize
 			level, idx, _ := p.lay.LeafParent(leaf)
-			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(level, idx), now)
 		}
 	case geometry.RegionTree:
 		level, idx := p.lay.NodeByAddr(ev.LineAddr)
 		if plevel, pidx, _, ok := p.lay.Parent(level, idx); ok {
-			p.treeWriteAccess(p.lay.TreeNodeAddr(plevel, pidx))
+			p.treeWriteAccess(p.lay.TreeNodeAddr(plevel, pidx), now)
 		}
 		// Level 0's hash lives in the on-chip root register: no
 		// further traffic.
@@ -551,15 +563,15 @@ func (p *partition) handleMetaWriteback(ev *cache.Eviction, now uint64) {
 
 // verifyWalkFromLeaf starts the tree walk that authenticates a freshly
 // fetched leaf (counter line under BMT, MAC line under MT).
-func (p *partition) verifyWalkFromLeaf(leaf uint64) {
+func (p *partition) verifyWalkFromLeaf(leaf uint64, now uint64) {
 	level, idx, _ := p.lay.LeafParent(leaf)
-	p.verifyWalk(level, idx)
+	p.verifyWalk(level, idx, now)
 }
 
 // verifyWalk authenticates upward from node (level, idx): a cached
 // node terminates the walk (cached implies verified); a miss fetches
 // the node and continues from its parent when the fill returns.
-func (p *partition) verifyWalk(level int, idx uint64) {
+func (p *partition) verifyWalk(level int, idx uint64, now uint64) {
 	for {
 		nodeAddr := p.lay.TreeNodeAddr(level, idx)
 		ms := &p.metaStats[MetaTree]
@@ -574,11 +586,11 @@ func (p *partition) verifyWalk(level int, idx uint64) {
 			ms.MissesSecondary++
 		}
 		if acc.Writeback != nil {
-			p.handleMetaWriteback(acc.Writeback, now0)
+			p.handleMetaWriteback(acc.Writeback, now)
 		}
 		if acc.NeedFetch {
 			dt := p.gpu.newToken()
-			p.dests[dt] = dest{kind: destTreeFill, addr: nodeAddr, bypass: acc.Bypass}
+			p.dests[dt] = dest{kind: destTreeFill, addr: nodeAddr, bypass: acc.Bypass, issuedAt: now}
 			p.dram.Enqueue(dram.Request{Addr: nodeAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(KindTree)})
 			return // continue from the parent at fill time
 		}
@@ -651,6 +663,9 @@ func (p *partition) dispatch(d dest, now uint64) {
 			// (stateful) MAC check indirectly via the wrong OTP.
 			p.injectMeta(in, d.addr, sc.Tree || sc.MAC)
 		}
+		if pr := p.gpu.probe; pr != nil {
+			p.recordMetaSpan(pr, d, KindCounter, now)
+		}
 		fill := p.ctr.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
 			p.handleMetaWriteback(fill.Writeback, now)
@@ -658,13 +673,16 @@ func (p *partition) dispatch(d dest, now uint64) {
 		p.wakeCounterWaiters(fill.Tokens, d, now)
 		if sc.Tree {
 			leaf := (d.addr - p.lay.CounterBase) / geometry.LineSize
-			p.verifyWalkFromLeaf(leaf)
+			p.verifyWalkFromLeaf(leaf, now)
 		}
 	case destMACFill:
 		if in := p.gpu.inj; in != nil {
 			// A flipped stored MAC always miscompares against the
 			// recomputed one.
 			p.injectMeta(in, d.addr, true)
+		}
+		if pr := p.gpu.probe; pr != nil {
+			p.recordMetaSpan(pr, d, KindMAC, now)
 		}
 		fill := p.mac.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
@@ -673,12 +691,15 @@ func (p *partition) dispatch(d dest, now uint64) {
 		p.wakeMACWaiters(fill.Tokens, d, now)
 		if sc.Encryption == EncDirect && sc.Tree {
 			leaf := (d.addr - p.lay.MACBase) / geometry.LineSize
-			p.verifyWalkFromLeaf(leaf)
+			p.verifyWalkFromLeaf(leaf, now)
 		}
 	case destTreeFill:
 		if in := p.gpu.inj; in != nil {
 			// A flipped tree node fails its parent's hash check.
 			p.injectMeta(in, d.addr, true)
+		}
+		if pr := p.gpu.probe; pr != nil {
+			p.recordMetaSpan(pr, d, KindTree, now)
 		}
 		fill := p.tree.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
@@ -687,7 +708,7 @@ func (p *partition) dispatch(d dest, now uint64) {
 		// Continue the verification walk upward.
 		level, idx := p.lay.NodeByAddr(d.addr)
 		if plevel, pidx, _, ok := p.lay.Parent(level, idx); ok {
-			p.verifyWalk(plevel, pidx)
+			p.verifyWalk(plevel, pidx, now)
 		}
 	}
 }

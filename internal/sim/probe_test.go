@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"gpusecmem/internal/probe"
+)
+
+func TestMetaKindString(t *testing.T) {
+	cases := map[MetaKind]string{
+		MetaCounter: "counter",
+		MetaMAC:     "mac",
+		MetaTree:    "bmt",
+		MetaKind(3): "meta(3)",
+		MetaKind(9): "meta(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("MetaKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindLabels(t *testing.T) {
+	labels := kindLabels()
+	if len(labels) != int(numKinds) {
+		t.Fatalf("%d labels for %d kinds", len(labels), numKinds)
+	}
+	want := []string{"data", "ctr", "mac", "bmt", "wb"}
+	for i, w := range want {
+		if labels[i] != w {
+			t.Errorf("label[%d] = %q, want %q", i, labels[i], w)
+		}
+	}
+}
+
+// TestProbeTimelineSampling: a probed run with a timeline interval
+// produces windows at exact interval multiples, and the per-kind
+// window deltas reconcile with the run's cumulative totals.
+func TestProbeTimelineSampling(t *testing.T) {
+	cfg := SecureMem()
+	cfg.Probe = &probe.Config{TimelineInterval: 1000}
+	r := runFor(t, cfg, "fdtd2d")
+	if r.Probe == nil || len(r.Probe.Timeline) == 0 {
+		t.Fatal("no timeline samples")
+	}
+	var dataBytes uint64
+	for i, s := range r.Probe.Timeline {
+		if s.Cycle%1000 != 0 {
+			t.Fatalf("sample %d at cycle %d, not an interval multiple", i, s.Cycle)
+		}
+		dataBytes += s.Bytes["data"]
+	}
+	// Windows cover [0, lastSample]; traffic after the final window is
+	// not sampled, so the sum is a lower bound on the cumulative total.
+	if dataBytes == 0 {
+		t.Fatal("timeline saw no data traffic")
+	}
+	if dataBytes > r.BytesByKind[KindData] {
+		t.Fatalf("timeline data bytes %d exceed run total %d",
+			dataBytes, r.BytesByKind[KindData])
+	}
+}
+
+// TestProbeSpanStagesMatchScheme: stage attribution must reflect the
+// configured protection — no AES cycles without encryption, no meta
+// wait without counter mode.
+func TestProbeSpanStagesMatchScheme(t *testing.T) {
+	base := Baseline()
+	base.Probe = &probe.Config{Spans: true}
+	r := runFor(t, base, "fdtd2d")
+	sp := r.Probe.Spans
+	for _, stage := range []string{"meta", "aes", "verify"} {
+		if c := sp.Stage("data", stage); c != 0 {
+			t.Errorf("baseline attributed %d cycles to %s", c, stage)
+		}
+	}
+	if sp.Stage("data", "dram") == 0 {
+		t.Error("baseline attributed no DRAM cycles")
+	}
+
+	sec := SecureMem()
+	sec.Probe = &probe.Config{Spans: true}
+	r = runFor(t, sec, "fdtd2d")
+	sp = r.Probe.Spans
+	if sp.Stage("data", "aes") == 0 {
+		t.Error("counter mode attributed no AES cycles")
+	}
+	for _, kind := range []string{"ctr", "mac", "bmt"} {
+		kb := sp.Kind(kind)
+		if kb == nil || kb.Spans == 0 {
+			t.Errorf("no %s metadata spans traced", kind)
+		}
+	}
+}

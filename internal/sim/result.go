@@ -5,6 +5,7 @@ import (
 
 	"gpusecmem/internal/cache"
 	"gpusecmem/internal/faults"
+	"gpusecmem/internal/probe"
 	"gpusecmem/internal/stats"
 )
 
@@ -56,8 +57,10 @@ func (m MetaKind) String() string {
 		return "counter"
 	case MetaMAC:
 		return "mac"
+	case MetaTree:
+		return "bmt"
 	}
-	return "bmt"
+	return fmt.Sprintf("meta(%d)", int(m))
 }
 
 // MetaStats aggregates one metadata type's cache behaviour across
@@ -139,6 +142,10 @@ type Result struct {
 
 	// Faults summarizes the injection campaign; all-zero without one.
 	Faults FaultStats
+
+	// Probe is the observability report of a probed run (Config.Probe);
+	// nil without one.
+	Probe *probe.Report
 }
 
 // IPC is thread-instructions per cycle.

@@ -200,6 +200,13 @@ func (s *SM) Complete(w int, now uint64) {
 	}
 }
 
+// Snapshot returns the SM's cumulative issue counters plus its
+// instantaneous blocked-warp count in one call — the probe timeline's
+// per-SM sampling hook.
+func (s *SM) Snapshot() (instructions, stalls, memOps uint64, blockedWarps int) {
+	return s.Instructions, s.Stalls, s.MemOps, s.BlockedWarps()
+}
+
 // BlockedWarps reports how many warps are waiting on memory.
 func (s *SM) BlockedWarps() int {
 	n := 0

@@ -3,7 +3,10 @@
 // profiler used for the paper's Figures 10 and 11.
 package stats
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Ratio returns a/b as a float, 0 when b is 0.
 func Ratio(a, b uint64) float64 {
@@ -136,6 +139,29 @@ func (p *ReuseProfiler) Fractions() [6]float64 {
 		out[i] = float64(v) / float64(reuse)
 	}
 	return out
+}
+
+// reuseBucketJSON is one labelled histogram bucket in the wire form.
+type reuseBucketJSON struct {
+	Label    string  `json:"label"`
+	Count    uint64  `json:"count"`
+	Fraction float64 `json:"fraction"`
+}
+
+// MarshalJSON renders the profiler as the labelled histogram plus
+// cold/total counts — the Figure 10/11 data in machine-readable form
+// (fractions are of non-cold accesses, matching the figures).
+func (p *ReuseProfiler) MarshalJSON() ([]byte, error) {
+	frac := p.Fractions()
+	buckets := make([]reuseBucketJSON, len(ReuseBuckets))
+	for i, b := range ReuseBuckets {
+		buckets[i] = reuseBucketJSON{Label: b.Label, Count: p.Hist[i], Fraction: frac[i]}
+	}
+	return json.Marshal(struct {
+		Buckets []reuseBucketJSON `json:"buckets"`
+		Cold    uint64            `json:"cold"`
+		Total   uint64            `json:"total"`
+	}{Buckets: buckets, Cold: p.Cold, Total: p.Total})
 }
 
 // String renders the histogram for reports.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -186,5 +187,94 @@ func BenchmarkReuseProfiler(b *testing.B) {
 	p := NewReuseProfiler()
 	for i := 0; i < b.N; i++ {
 		p.Touch(uint64(i % 4096))
+	}
+}
+
+func TestPercentZeroDenominator(t *testing.T) {
+	if Percent(5, 0) != 0 {
+		t.Error("Percent(5, 0) != 0")
+	}
+	if Percent(0, 0) != 0 {
+		t.Error("Percent(0, 0) != 0")
+	}
+}
+
+// TestReuseGrowBoundaries: the Fenwick tree rebuild at each
+// power-of-two boundary must preserve reported distances.
+func TestReuseGrowBoundaries(t *testing.T) {
+	p := NewReuseProfiler()
+	p.Touch(0)
+	p.Touch(1)
+	// Alternating touches keep the true reuse distance at exactly 1
+	// while time crosses every doubling boundary up to 128.
+	for i := 0; i < 120; i++ {
+		d, ok := p.Touch(uint64(i % 2))
+		if !ok {
+			t.Fatalf("touch %d reported cold", i)
+		}
+		if d != 1 {
+			t.Fatalf("touch %d: distance %d, want 1 (tree size %d)", i, d, len(p.bit))
+		}
+	}
+}
+
+func TestReuseGrowSizing(t *testing.T) {
+	p := NewReuseProfiler()
+	p.grow(5) // empty tree doubles 2 -> 4 -> 8
+	if len(p.bit) != 8 {
+		t.Fatalf("grow(5) sized tree to %d, want 8", len(p.bit))
+	}
+	p.grow(7) // still fits: must not reallocate
+	if len(p.bit) != 8 {
+		t.Fatalf("grow(7) resized a fitting tree to %d", len(p.bit))
+	}
+	p.grow(8) // boundary: 8 <= 8 forces the next doubling
+	if len(p.bit) != 16 {
+		t.Fatalf("grow(8) sized tree to %d, want 16", len(p.bit))
+	}
+	if len(p.raw) < 16 {
+		t.Fatalf("raw presence array not grown: %d", len(p.raw))
+	}
+}
+
+func TestReuseProfilerMarshalJSON(t *testing.T) {
+	p := NewReuseProfiler()
+	for i := 0; i < 3; i++ {
+		p.Touch(1) // one cold + two distance-0 reuses
+	}
+	p.Touch(2) // cold
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Buckets []struct {
+			Label    string  `json:"label"`
+			Count    uint64  `json:"count"`
+			Fraction float64 `json:"fraction"`
+		} `json:"buckets"`
+		Cold  uint64 `json:"cold"`
+		Total uint64 `json:"total"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Buckets) != len(ReuseBuckets) {
+		t.Fatalf("%d buckets, want %d", len(out.Buckets), len(ReuseBuckets))
+	}
+	if out.Cold != 2 || out.Total != 4 {
+		t.Fatalf("cold=%d total=%d, want 2/4", out.Cold, out.Total)
+	}
+	var n uint64
+	var frac float64
+	for _, bk := range out.Buckets {
+		n += bk.Count
+		frac += bk.Fraction
+	}
+	if n != out.Total-out.Cold {
+		t.Fatalf("bucket counts sum to %d, want %d", n, out.Total-out.Cold)
+	}
+	if frac < 0.999 || frac > 1.001 {
+		t.Fatalf("fractions sum to %g, want 1", frac)
 	}
 }

@@ -1,0 +1,210 @@
+package gpusecmem
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gpusecmem/internal/probe"
+)
+
+const probeTestCycles = 6000
+
+// TestProbeDisabledByteIdentical is the zero-cost contract: enabling
+// every probe instrument must not perturb the simulation. For the full
+// scheme catalogue, a probed run's Result — with the probe report
+// stripped — must marshal to exactly the bytes of the unprobed run's.
+func TestProbeDisabledByteIdentical(t *testing.T) {
+	for _, name := range SchemeNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := ConfigForScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.MaxCycles = probeTestCycles
+
+			plain, err := Simulate(cfg, "fdtd2d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			probed := cfg
+			probed.Probe = &ProbeConfig{Spans: true, Trace: true, TimelineInterval: 500}
+			pres, err := Simulate(probed, "fdtd2d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pres.Probe == nil {
+				t.Fatal("probed run carried no report")
+			}
+			pres.Probe = nil
+
+			a, err := json.Marshal(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(pres)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("probed result diverged from unprobed:\n plain: %s\nprobed: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestSpanConservation: every scheme's span attribution must partition
+// issue→reply exactly — zero unbalanced spans, catalogue-wide — and
+// actually trace something. Blocking (non-speculative) verification is
+// covered explicitly since it exercises the verify stage.
+func TestSpanConservation(t *testing.T) {
+	blocking := SecureMemConfig()
+	blocking.Secure.SpeculativeVerify = false
+
+	cases := map[string]Config{"ctr_mac_bmt_blocking": blocking}
+	for _, name := range SchemeNames() {
+		cfg, err := ConfigForScheme(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases[name] = cfg
+	}
+
+	for name, cfg := range cases {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg.MaxCycles = probeTestCycles
+			cfg.Probe = &ProbeConfig{Spans: true}
+			res, err := Simulate(cfg, "fdtd2d")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := res.Probe.Spans
+			if sp.Spans == 0 {
+				t.Fatal("no spans traced")
+			}
+			if sp.Unbalanced != 0 {
+				t.Fatalf("%d of %d spans unbalanced", sp.Unbalanced, sp.Spans)
+			}
+			if name == "ctr_mac_bmt_blocking" && sp.Stage("data", "verify") == 0 {
+				t.Fatal("blocking verification attributed no verify cycles")
+			}
+		})
+	}
+}
+
+// TestProbeResultJSONCarriesReport: a probed run's JSON form includes
+// the probe report; an unprobed run's omits the key entirely.
+func TestProbeResultJSONCarriesReport(t *testing.T) {
+	cfg := SecureMemConfig()
+	cfg.MaxCycles = probeTestCycles
+	cfg.Probe = &ProbeConfig{Spans: true, TimelineInterval: 500}
+	res, err := Simulate(cfg, "fdtd2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["probe"]; !ok {
+		t.Fatal("probed result JSON missing probe key")
+	}
+	var rep struct {
+		Spans    *probe.SpansReport `json:"spans"`
+		Timeline []probe.Sample     `json:"timeline"`
+	}
+	if err := json.Unmarshal(m["probe"], &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans == nil || rep.Spans.Spans == 0 || len(rep.Timeline) == 0 {
+		t.Fatalf("probe JSON incomplete: %s", m["probe"])
+	}
+
+	cfg.Probe = nil
+	res, err = Simulate(cfg, "fdtd2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = nil
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["probe"]; ok {
+		t.Fatal("unprobed result JSON still carries probe key")
+	}
+}
+
+// TestProbeMemoKeysDiffer: probed and unprobed runs must memoize under
+// different keys, or a sweep could serve a probe-less cached result to
+// a probed request.
+func TestProbeMemoKeysDiffer(t *testing.T) {
+	plain := SecureMemConfig()
+	probed := SecureMemConfig()
+	probed.Probe = &ProbeConfig{Spans: true}
+	if RunKey(plain, "fdtd2d") == RunKey(probed, "fdtd2d") {
+		t.Fatal("probe config not part of the memo key")
+	}
+	tl := SecureMemConfig()
+	tl.Probe = &ProbeConfig{Spans: true, TimelineInterval: 500}
+	if RunKey(probed, "fdtd2d") == RunKey(tl, "fdtd2d") {
+		t.Fatal("probe instruments not distinguished in the memo key")
+	}
+}
+
+// TestExtLatencyMetadataDominatesAES pins the headline claim of the
+// ext-latency experiment: for the full counter-mode design on a
+// memory-bound benchmark, total metadata cycles (data-path meta wait
+// plus ctr/mac/bmt traffic residency) exceed AES cycles.
+func TestExtLatencyMetadataDominatesAES(t *testing.T) {
+	cfg := SecureMemConfig()
+	cfg.MaxCycles = probeTestCycles
+	cfg.Probe = &ProbeConfig{Spans: true}
+	res, err := Simulate(cfg, "fdtd2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := res.Probe.Spans
+	meta := sp.Stage("data", "meta")
+	for _, kind := range []string{"ctr", "mac", "bmt"} {
+		if kb := sp.Kind(kind); kb != nil {
+			meta += kb.TotalCycles
+		}
+	}
+	aes := sp.Stage("data", "aes")
+	if aes == 0 {
+		t.Fatal("no AES cycles attributed")
+	}
+	if meta <= aes {
+		t.Fatalf("metadata cycles %d do not exceed AES cycles %d", meta, aes)
+	}
+}
+
+// TestSchemeNamesListedAndValid guards the -list contract: every
+// listed scheme must resolve to a valid configuration.
+func TestSchemeNamesListedAndValid(t *testing.T) {
+	names := SchemeNames()
+	if len(names) == 0 {
+		t.Fatal("no schemes listed")
+	}
+	for _, n := range names {
+		cfg, err := ConfigForScheme(n)
+		if err != nil {
+			t.Errorf("scheme %s: %v", n, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scheme %s invalid: %v", n, err)
+		}
+	}
+}
