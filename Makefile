@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race smoke bench results audit fuzz
+.PHONY: verify vet build test race smoke bench gobench results audit fuzz
 
 ## verify: vet + build + full test suite + CLI smoke run (tier-1 gate)
 verify: vet build test smoke
@@ -25,8 +25,14 @@ race:
 smoke:
 	$(GO) run ./cmd/experiments -exp table1
 
-## bench: full reproduction benchmark suite
+## bench: tracked simulator-throughput baseline — measures cycles/sec
+## and steady-state allocations on a fixed scheme x benchmark grid and
+## writes BENCH_PR4.json (compare against a saved run with -baseline).
 bench:
+	$(GO) run ./cmd/perfbench -out BENCH_PR4.json
+
+## gobench: package micro-benchmarks via go test
+gobench:
 	$(GO) test -bench=. -benchmem
 
 ## results: regenerate the committed results/ snapshot (see README)

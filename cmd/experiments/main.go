@@ -152,9 +152,10 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses, jobs %d, wall %s\n",
+		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses, jobs %d, wall %s, %.0f cycles/sec aggregate\n",
 		len(rep.Results), failures, rep.PlannedRuns, rep.ExecutedRuns, rep.FailedRuns,
-		rep.CacheHits, rep.CacheMisses, rep.Jobs, rep.Wall.Round(time.Millisecond))
+		rep.CacheHits, rep.CacheMisses, rep.Jobs, rep.Wall.Round(time.Millisecond),
+		rep.AggregateCyclesPerSec())
 
 	if *statsOut != "" {
 		sf, err := os.Create(*statsOut)

@@ -1,0 +1,220 @@
+// Command perfbench measures raw simulator throughput (host-side
+// cycles/sec) and allocation behaviour on a fixed set of catalogue
+// configurations, and writes the measurements as JSON — the tracked
+// perf baseline behind `make bench`.
+//
+// Each case simulates one (scheme, benchmark) pair at the default
+// machine configuration via testing.Benchmark, so ns/op, allocs/op and
+// bytes/op follow the standard Go benchmark methodology. On top of the
+// whole-run numbers, perfbench estimates the *steady-state* allocation
+// rate of the cycle loop by differencing two run lengths: allocations
+// that scale with cycles (per-cycle garbage) show up in the slope,
+// one-time construction cost does not. The optimized cycle loop is
+// expected to hold that slope at ~0 allocs per 1000 cycles.
+//
+// Usage:
+//
+//	perfbench -out BENCH_PR4.json                  # full measurement
+//	perfbench -quick -out /tmp/bench.json          # CI smoke (short)
+//	perfbench -baseline old.json -out BENCH_PR4.json  # embed reference + speedups
+//
+// Comparing two files: run perfbench on the old tree with -out
+// old.json, then on the new tree with `-baseline old.json`; the output
+// then carries the reference runs and per-case cycles/sec speedups.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"gpusecmem"
+)
+
+// benchCase is one tracked configuration point.
+type benchCase struct {
+	Name      string
+	Scheme    string
+	Benchmark string
+}
+
+// cases span the perf envelope: the insecure baseline, the full secure
+// design on bandwidth-bound workloads (partition/DRAM dominated), a
+// compute-bound workload (SM/idle-skip dominated), and direct
+// encryption (AES path).
+var cases = []benchCase{
+	{Name: "baseline/fdtd2d", Scheme: "baseline", Benchmark: "fdtd2d"},
+	{Name: "ctr_mac_bmt/fdtd2d", Scheme: "ctr_mac_bmt", Benchmark: "fdtd2d"},
+	{Name: "ctr_mac_bmt/lbm", Scheme: "ctr_mac_bmt", Benchmark: "lbm"},
+	{Name: "ctr_mac_bmt/heartwall", Scheme: "ctr_mac_bmt", Benchmark: "heartwall"},
+	{Name: "ctr_bmt/streamcluster", Scheme: "ctr_bmt", Benchmark: "streamcluster"},
+	{Name: "direct_mac_mt/srad_v2", Scheme: "direct_mac_mt", Benchmark: "srad_v2"},
+}
+
+// RunResult is one case's measurements.
+type RunResult struct {
+	Name         string  `json:"name"`
+	Scheme       string  `json:"scheme"`
+	Benchmark    string  `json:"benchmark"`
+	Cycles       uint64  `json:"cycles"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	// SteadyAllocsPerKCycle is the marginal allocation rate of the
+	// cycle loop: (allocs(long) - allocs(short)) / Δkcycles. ~0 means
+	// the steady-state hot path is allocation-free.
+	SteadyAllocsPerKCycle float64 `json:"steady_allocs_per_kcycle"`
+}
+
+// File is the BENCH_PR4.json schema.
+type File struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// Cycles is the per-op simulation length of the throughput runs.
+	Cycles uint64      `json:"cycles"`
+	Runs   []RunResult `json:"runs"`
+	// Baseline carries the runs of the reference file passed with
+	// -baseline (a previous tree's measurements), and Speedup the
+	// per-case cycles/sec ratio current/reference.
+	Baseline []RunResult        `json:"baseline,omitempty"`
+	Speedup  map[string]float64 `json:"speedup,omitempty"`
+}
+
+func simulate(cfg gpusecmem.Config, bench string) {
+	if _, err := gpusecmem.Simulate(cfg, bench); err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: %s: %v\n", bench, err)
+		os.Exit(1)
+	}
+}
+
+// measure runs one case: a timed throughput benchmark at `cycles`
+// plus the two-point allocation slope.
+func measure(c benchCase, cycles uint64) RunResult {
+	cfg, err := gpusecmem.ConfigForScheme(c.Scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	cfg.MaxCycles = cycles
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			simulate(cfg, c.Benchmark)
+		}
+	})
+	short, long := cfg, cfg
+	short.MaxCycles = cycles / 4
+	long.MaxCycles = cycles + cycles/4
+	slope := allocSlope(short, long, c.Benchmark)
+	ns := br.NsPerOp()
+	res := RunResult{
+		Name:                  c.Name,
+		Scheme:                c.Scheme,
+		Benchmark:             c.Benchmark,
+		Cycles:                cycles,
+		NsPerOp:               ns,
+		AllocsPerOp:           br.AllocsPerOp(),
+		BytesPerOp:            br.AllocedBytesPerOp(),
+		SteadyAllocsPerKCycle: slope,
+	}
+	if ns > 0 {
+		res.CyclesPerSec = float64(cycles) / (float64(ns) / 1e9)
+	}
+	return res
+}
+
+// allocSlope estimates per-cycle allocations by differencing a short
+// and a long run (single iterations; allocation counts are exact and
+// deterministic, so one sample each suffices).
+func allocSlope(short, long gpusecmem.Config, bench string) float64 {
+	count := func(cfg gpusecmem.Config) float64 {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		simulate(cfg, bench)
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs - m0.Mallocs)
+	}
+	dk := float64(long.MaxCycles-short.MaxCycles) / 1000
+	if dk <= 0 {
+		return 0
+	}
+	return (count(long) - count(short)) / dk
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_PR4.json", "output JSON path (- for stdout)")
+		baseline = flag.String("baseline", "", "reference perfbench JSON to embed and compare against")
+		cycles   = flag.Uint64("cycles", 4000, "simulated cycles per throughput op")
+		quick    = flag.Bool("quick", false, "CI smoke: first two cases only, short runs")
+	)
+	flag.Parse()
+
+	sel := cases
+	if *quick {
+		sel = cases[:2]
+		if *cycles > 2000 {
+			*cycles = 2000
+		}
+	}
+
+	f := File{
+		Schema:    "gpusecmem-perfbench/v1",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Cycles:    *cycles,
+	}
+	for _, c := range sel {
+		fmt.Fprintf(os.Stderr, "perfbench: %s ...\n", c.Name)
+		r := measure(c, *cycles)
+		fmt.Fprintf(os.Stderr, "perfbench: %-24s %12.0f cycles/sec  %8d allocs/op  %+.2f steady allocs/kcycle\n",
+			r.Name, r.CyclesPerSec, r.AllocsPerOp, r.SteadyAllocsPerKCycle)
+		f.Runs = append(f.Runs, r)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		var ref File
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: parsing baseline:", err)
+			os.Exit(1)
+		}
+		f.Baseline = ref.Runs
+		f.Speedup = map[string]float64{}
+		byName := map[string]RunResult{}
+		for _, r := range ref.Runs {
+			byName[r.Name] = r
+		}
+		for _, r := range f.Runs {
+			if b, ok := byName[r.Name]; ok && b.CyclesPerSec > 0 {
+				f.Speedup[r.Name] = r.CyclesPerSec / b.CyclesPerSec
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d cases)\n", *out, len(f.Runs))
+}

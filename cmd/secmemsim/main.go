@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpusecmem"
@@ -60,6 +62,8 @@ func main() {
 		timeline   = flag.String("timeline", "", "write a windowed timeline to this file (.csv extension selects CSV, anything else NDJSON)")
 		probeEvery = flag.Uint64("probe-interval", 500, "timeline sampling interval in cycles")
 		traceOut   = flag.String("trace-out", "", "write span records as Chrome trace-event JSON (Perfetto) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -103,6 +107,20 @@ func main() {
 		cfg.Probe = pc
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	// The baseline comparison run stays fault-free and unaudited: it is
 	// only there to normalize IPC.
 	base := gpusecmem.BaselineConfig()
@@ -114,6 +132,22 @@ func main() {
 	res, err := gpusecmem.Simulate(cfg, *bench)
 	if err != nil {
 		fail(err)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows retained state
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if err := writeProbeFiles(res, *timeline, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)

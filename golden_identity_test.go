@@ -1,0 +1,132 @@
+package gpusecmem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"testing"
+)
+
+// The catalogue-wide identity net for the optimized cycle loop: every
+// (scheme, benchmark) pair is simulated at a fixed cycle budget and the
+// sha256 of its canonical Result JSON compared against digests captured
+// on the pre-optimization tree (testdata/golden_digests.json). Any
+// change to a single output bit — a stat, a counter, an IPC — flips a
+// digest and fails the test.
+//
+// After an *intentional* behavioral change, regenerate with:
+//
+//	go test -run TestGoldenResultDigests -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from the current tree")
+
+const (
+	goldenDigestPath = "testdata/golden_digests.json"
+	goldenCycles     = 6000
+)
+
+// goldenFile is the digest archive schema.
+type goldenFile struct {
+	Cycles  uint64            `json:"cycles"`
+	Digests map[string]string `json:"digests"`
+}
+
+// goldenDigest canonicalizes one run to a hex sha256.
+func goldenDigest(t *testing.T, scheme, bench string) string {
+	t.Helper()
+	cfg, err := ConfigForScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxCycles = goldenCycles
+	res, err := Simulate(cfg, bench)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", scheme, bench, err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// shortPairs is the -short subset: both encryption families, the
+// insecure baseline, and workloads spanning bandwidth-bound to
+// compute-bound.
+var shortPairs = map[string]bool{
+	"baseline/fdtd2d":       true,
+	"ctr_mac_bmt/fdtd2d":    true,
+	"ctr_mac_bmt/heartwall": true,
+	"ctr_bmt/lbm":           true,
+	"direct_mac_mt/srad_v2": true,
+	"unified/bfs":           true,
+}
+
+func TestGoldenResultDigests(t *testing.T) {
+	want := goldenFile{Cycles: goldenCycles, Digests: map[string]string{}}
+	if !*updateGolden {
+		raw, err := os.ReadFile(goldenDigestPath)
+		if err != nil {
+			t.Fatalf("missing golden digests (generate with -update-golden): %v", err)
+		}
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatal(err)
+		}
+		if want.Cycles != goldenCycles {
+			t.Fatalf("golden file captured at %d cycles, test runs %d — regenerate with -update-golden",
+				want.Cycles, goldenCycles)
+		}
+	}
+
+	got := map[string]string{}
+	for _, scheme := range SchemeNames() {
+		for _, bench := range Benchmarks() {
+			name := scheme + "/" + bench
+			if testing.Short() && !shortPairs[name] {
+				continue
+			}
+			scheme, bench := scheme, bench
+			t.Run(name, func(t *testing.T) {
+				d := goldenDigest(t, scheme, bench)
+				got[name] = d
+				if *updateGolden {
+					return
+				}
+				w, ok := want.Digests[name]
+				if !ok {
+					t.Fatalf("no golden digest for %s — regenerate with -update-golden", name)
+				}
+				if d != w {
+					t.Errorf("result digest changed: got %s want %s (output is no longer byte-identical to the pre-optimization tree)", d, w)
+				}
+			})
+		}
+	}
+
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("-update-golden needs the full catalogue; drop -short")
+		}
+		out := goldenFile{Cycles: goldenCycles, Digests: got}
+		raw, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDigestPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t.Logf("wrote %s (%d digests)", goldenDigestPath, len(keys))
+	}
+}

@@ -194,6 +194,15 @@ type Cache struct {
 	// the bimodal insertion epsilon.
 	psel      int
 	brripTick uint64
+	// entryPool recycles retired MSHR entries (and their token-slice
+	// capacity) so the miss path stops allocating in steady state.
+	entryPool []*mshrEntry
+	// tokScratch backs FillResult.Tokens; see the Fill aliasing
+	// contract.
+	tokScratch []uint64
+	// evScratch backs the *Eviction results of Access, Fill, and
+	// WriteValidate; see the Access aliasing contract.
+	evScratch Eviction
 	Stats     Stats
 }
 
@@ -241,6 +250,39 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// newEntry takes an MSHR entry from the pool (or allocates the pool's
+// first tenants) with all sector state cleared and token slices
+// emptied but capacity retained.
+func (c *Cache) newEntry(lineAddr uint64) *mshrEntry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool = c.entryPool[:n-1]
+		e.lineAddr = lineAddr
+		e.merged = 0
+		for s := 0; s < SectorsPerLine; s++ {
+			e.sectorPending[s] = false
+			e.sectorWrite[s] = false
+			e.tokens[s] = e.tokens[s][:0]
+		}
+		return e
+	}
+	return &mshrEntry{lineAddr: lineAddr}
+}
+
+// evict books a dirty victim into the eviction scratch. The returned
+// pointer is valid until the next Access/Fill/WriteValidate on this
+// cache (see the Access aliasing contract).
+func (c *Cache) evict(w *way) *Eviction {
+	c.Stats.Evictions++
+	db := c.dirtyBytes(w)
+	if db == 0 {
+		return nil
+	}
+	c.Stats.Writebacks++
+	c.evScratch = Eviction{LineAddr: w.tag, DirtyBytes: db}
+	return &c.evScratch
+}
 
 func (c *Cache) lineAddr(addr uint64) uint64 {
 	return addr / uint64(c.cfg.LineSize) * uint64(c.cfg.LineSize)
@@ -292,6 +334,13 @@ func (c *Cache) findWay(lineAddr uint64) *way {
 // request; it is returned from the completing Fill for MissPrimary and
 // MissMerged outcomes (bypass fetches complete with the token the
 // caller attached to the fetch itself).
+//
+// Aliasing contract: a non-nil Writeback points at scratch owned by
+// this cache and is valid only until the next Access, Fill, or
+// WriteValidate on the *same* cache instance. Callers must read its
+// fields before triggering any further access on this cache (the
+// partition's writeback handlers consume LineAddr/DirtyBytes first,
+// then recurse).
 func (c *Cache) Access(addr uint64, write bool, token uint64) AccessResult {
 	c.Stats.Accesses++
 	if c.cfg.Perfect {
@@ -366,7 +415,7 @@ func (c *Cache) Access(addr uint64, write bool, token uint64) AccessResult {
 		// The large_mdc idealization has "only cold misses": entries
 		// and merge capacity are unbounded, so no redundant fetch is
 		// ever issued.
-		e := &mshrEntry{lineAddr: lineAddr}
+		e := c.newEntry(lineAddr)
 		e.sectorPending[sector] = true
 		e.tokens[sector] = append(e.tokens[sector], token)
 		if write {
@@ -376,7 +425,7 @@ func (c *Cache) Access(addr uint64, write bool, token uint64) AccessResult {
 		return AccessResult{Outcome: MissPrimary, NeedFetch: true, FetchBytes: c.fetchBytes()}
 	}
 	if c.mshrFree > 0 {
-		e := &mshrEntry{lineAddr: lineAddr}
+		e := c.newEntry(lineAddr)
 		e.sectorPending[sector] = true
 		e.tokens[sector] = append(e.tokens[sector], token)
 		if write {
@@ -399,11 +448,7 @@ func (c *Cache) reserve(lineAddr uint64) *Eviction {
 	var ev *Eviction
 	w := &set[victim]
 	if w.valid {
-		c.Stats.Evictions++
-		if db := c.dirtyBytes(w); db > 0 {
-			c.Stats.Writebacks++
-			ev = &Eviction{LineAddr: w.tag, DirtyBytes: db}
-		}
+		ev = c.evict(w)
 	}
 	*w = way{valid: true, tag: lineAddr}
 	c.insertState(w, setIdx)
@@ -464,11 +509,7 @@ func (c *Cache) install(lineAddr uint64, sector int, write bool) *Eviction {
 	var ev *Eviction
 	w := &set[victim]
 	if w.valid {
-		c.Stats.Evictions++
-		if db := c.dirtyBytes(w); db > 0 {
-			c.Stats.Writebacks++
-			ev = &Eviction{LineAddr: w.tag, DirtyBytes: db}
-		}
+		ev = c.evict(w)
 	}
 	*w = way{valid: true, tag: lineAddr}
 	c.insertState(w, setIdx)
@@ -483,6 +524,12 @@ func (c *Cache) install(lineAddr uint64, sector int, write bool) *Eviction {
 // bypass must be true when the fetch was issued for a MissBypass (or
 // MSHR-less primary miss); its completing token travels with the fetch
 // and is not returned here.
+//
+// Aliasing contract: FillResult.Tokens and FillResult.Writeback point
+// at scratch owned by this cache, valid only until the next
+// Access/Fill/WriteValidate on the same instance. Callers consume them
+// in the same dispatch (waking waiters, enqueueing the writeback)
+// before anything else touches the cache.
 func (c *Cache) Fill(addr uint64, bypass bool, write bool) FillResult {
 	c.Stats.Fills++
 	c.seq++
@@ -513,9 +560,12 @@ func (c *Cache) Fill(addr uint64, bypass bool, write bool) FillResult {
 		}
 		return res
 	}
-	res.Tokens = e.tokens[sector]
+	if len(e.tokens[sector]) > 0 {
+		res.Tokens = append(c.tokScratch[:0], e.tokens[sector]...)
+		c.tokScratch = res.Tokens[:0]
+	}
 	wr := write || e.sectorWrite[sector]
-	e.tokens[sector] = nil
+	e.tokens[sector] = e.tokens[sector][:0]
 	e.sectorPending[sector] = false
 	e.sectorWrite[sector] = false
 	if ev := c.install(lineAddr, sector, wr); ev != nil {
@@ -534,6 +584,7 @@ func (c *Cache) Fill(addr uint64, bypass bool, write bool) FillResult {
 		if !c.cfg.Unlimited {
 			c.mshrFree++
 		}
+		c.entryPool = append(c.entryPool, e)
 	}
 	return res
 }

@@ -9,8 +9,9 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
+
+	"gpusecmem/internal/eventq"
 )
 
 // Config holds the timing parameters of one partition's channel.
@@ -103,24 +104,18 @@ type pending struct {
 	dead bool // tombstone: issued and awaiting compaction
 }
 
+// scanDepth bounds how far past the queue head the FR-FCFS scheduler
+// (and NextEvent, which must see the same candidates) looks for
+// issuable requests.
+const scanDepth = 32
+
 type completion struct {
 	at3   uint64
 	token uint64
 }
 
-type completionHeap []completion
-
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at3 < h[j].at3 }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// When orders completions (in thirds of a core cycle) for the eventq.
+func (c completion) When() uint64 { return c.at3 }
 
 // DRAM is one partition's channel. Drive it with Enqueue and Tick.
 type DRAM struct {
@@ -131,8 +126,11 @@ type DRAM struct {
 	bankBusy3 []uint64
 	bankRow   []uint64
 	busFree3  uint64
-	compl     completionHeap
-	Stats     Stats
+	compl     eventq.Queue[completion]
+	// done is Tick's reusable completion-token scratch; see the Tick
+	// aliasing contract.
+	done  []uint64
+	Stats Stats
 }
 
 // New builds a channel from cfg. Callers should Validate first; New
@@ -164,7 +162,7 @@ func (d *DRAM) Enqueue(r Request) {
 func (d *DRAM) QueueLen() int { return d.live }
 
 // InFlight reports queued plus issued-but-incomplete requests.
-func (d *DRAM) InFlight() int { return d.live + len(d.compl) }
+func (d *DRAM) InFlight() int { return d.live + d.compl.Len() }
 
 // BusyBanks reports how many banks are mid-access at core cycle now —
 // the probe timeline's bank-utilization gauge.
@@ -222,7 +220,7 @@ func (d *DRAM) issue(i int, now3 uint64) {
 	}
 	d.Stats.addKind(r.Kind, r.Bytes)
 	if r.Token != 0 {
-		heap.Push(&d.compl, completion{at3: end3, token: r.Token})
+		d.compl.Push(completion{at3: end3, token: r.Token})
 	}
 	d.queue[i].dead = true
 	d.live--
@@ -245,11 +243,14 @@ func (d *DRAM) issue(i int, now3 uint64) {
 
 // Tick advances the channel to core cycle `now` and returns the tokens
 // of requests whose data transfer completed at or before it.
+//
+// Aliasing contract: the returned slice is scratch owned by the DRAM
+// and is valid only until the next Tick call; callers must consume it
+// immediately and not retain it.
 func (d *DRAM) Tick(now uint64) []uint64 {
 	now3 := now * 3
 	// Issue phase: FR-FCFS-lite. First pass prefers row hits on free
 	// banks; second pass takes the oldest request on any free bank.
-	const scanDepth = 32
 	for issued := 0; issued < d.cfg.MaxIssuePerCycle; issued++ {
 		pick := -1
 		seen := 0
@@ -276,12 +277,48 @@ func (d *DRAM) Tick(now uint64) []uint64 {
 		d.issue(pick, now3)
 	}
 	// Completion phase.
-	var done []uint64
-	for len(d.compl) > 0 && d.compl[0].at3 <= now3 {
-		done = append(done, heap.Pop(&d.compl).(completion).token)
+	d.done = d.done[:0]
+	for d.compl.Len() > 0 && d.compl.Min().at3 <= now3 {
+		d.done = append(d.done, d.compl.Pop().token)
 	}
-	return done
+	return d.done
+}
+
+// NextEvent returns the earliest core cycle after `now` at which a Tick
+// could do anything — issue a queued request or retire a completion —
+// assuming no Enqueue happens in between. ^uint64(0) means the channel
+// is fully drained.
+//
+// The estimate is a lower bound by construction: it scans the same
+// scanDepth issue window as Tick and takes the earliest bank-free time
+// among those candidates plus the earliest completion. It may
+// undershoot (a Tick at the returned cycle may still find nothing
+// issuable, e.g. when MaxIssuePerCycle arbitration defers a request),
+// which costs a no-op tick; it never overshoots, which would skip real
+// work and break cycle accuracy.
+func (d *DRAM) NextEvent(now uint64) uint64 {
+	next := ^uint64(0)
+	if d.compl.Len() > 0 {
+		next = (d.compl.Min().at3 + 2) / 3 // first cycle with at3 <= now*3
+	}
+	if d.live > 0 {
+		seen := 0
+		for i := d.head; i < len(d.queue) && seen < scanDepth; i++ {
+			if d.queue[i].dead {
+				continue
+			}
+			seen++
+			t := (d.bankBusy3[d.bankOf(d.queue[i].req.Addr)] + 2) / 3
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if next <= now && next != ^uint64(0) {
+		next = now + 1
+	}
+	return next
 }
 
 // Drained reports whether no work remains.
-func (d *DRAM) Drained() bool { return d.live == 0 && len(d.compl) == 0 }
+func (d *DRAM) Drained() bool { return d.live == 0 && d.compl.Len() == 0 }

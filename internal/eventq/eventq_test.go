@@ -1,0 +1,106 @@
+package eventq
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// ev mirrors the simulator's event shapes: a time key plus a payload
+// that distinguishes equal-time events.
+type ev struct {
+	at  uint64
+	seq int
+}
+
+func (e ev) When() uint64 { return e.at }
+
+// refHeap is the container/heap implementation the Queue replaces; the
+// test asserts pop-order bit-compatibility against it, including ties.
+type refHeap []ev
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(ev)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestOrderMatchesContainerHeap drives both heaps with an identical
+// interleaved push/pop sequence, heavy on duplicate keys, and requires
+// every popped element (not just its key) to match. This is the
+// property the simulator's byte-identity rests on.
+func TestOrderMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q Queue[ev]
+	var ref refHeap
+	seq := 0
+	for step := 0; step < 20000; step++ {
+		if q.Len() == 0 || rng.Intn(3) != 0 {
+			e := ev{at: uint64(rng.Intn(50)), seq: seq}
+			seq++
+			q.Push(e)
+			heap.Push(&ref, e)
+		} else {
+			got := q.Pop()
+			want := heap.Pop(&ref).(ev)
+			if got != want {
+				t.Fatalf("step %d: pop mismatch: got %+v want %+v", step, got, want)
+			}
+		}
+	}
+	for q.Len() > 0 {
+		got := q.Pop()
+		want := heap.Pop(&ref).(ev)
+		if got != want {
+			t.Fatalf("drain: pop mismatch: got %+v want %+v", got, want)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("reference heap not drained: %d left", ref.Len())
+	}
+}
+
+func TestNextWhen(t *testing.T) {
+	var q Queue[ev]
+	if got := q.NextWhen(); got != ^uint64(0) {
+		t.Fatalf("empty NextWhen = %d, want max", got)
+	}
+	q.Push(ev{at: 9})
+	q.Push(ev{at: 4})
+	q.Push(ev{at: 7})
+	if got := q.NextWhen(); got != 4 {
+		t.Fatalf("NextWhen = %d, want 4", got)
+	}
+	if got := q.Min(); got.at != 4 {
+		t.Fatalf("Min = %+v, want at=4", got)
+	}
+}
+
+// TestSteadyStateAllocs verifies the drain/refill pattern of the cycle
+// loop reuses the backing array.
+func TestSteadyStateAllocs(t *testing.T) {
+	var q Queue[ev]
+	for i := 0; i < 64; i++ {
+		q.Push(ev{at: uint64(i)})
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(ev{at: uint64(64 - i)})
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs = %v, want 0", allocs)
+	}
+}

@@ -13,6 +13,9 @@ type DelayQueue[T any] struct {
 	items   []entry[T]
 	head    int
 	tap     func(T) int
+	// out is PopReady's reusable scratch; see the PopReady aliasing
+	// contract.
+	out []T
 
 	// Stats counts what the queue moved (and what a fault tap did to
 	// it); cheap enough to keep unconditionally.
@@ -58,8 +61,13 @@ func (q *DelayQueue[T]) PushAfter(now uint64, extra uint64, item T) {
 // Items are pushed with monotonically non-decreasing ready times as
 // long as callers push with non-decreasing now, which the simulator
 // guarantees; the queue exploits that for O(1) amortized pops.
+//
+// Aliasing contract: the returned slice is scratch owned by the queue
+// and is valid only until the next PopReady call on the same queue.
+// Callers must consume it immediately (the cycle loop drains it in the
+// same step) and must not retain it or push-back items that alias it.
 func (q *DelayQueue[T]) PopReady(now uint64) []T {
-	var out []T
+	out := q.out[:0]
 	for q.head < len(q.items) && q.items[q.head].readyAt <= now {
 		item := q.items[q.head].item
 		q.head++
@@ -78,12 +86,36 @@ func (q *DelayQueue[T]) PopReady(now uint64) []T {
 			q.Stats.Delivered++
 		}
 	}
-	// Compact once the consumed prefix dominates.
+	// Compact in place once the consumed prefix dominates.
 	if q.head > 1024 && q.head*2 > len(q.items) {
-		q.items = append([]entry[T](nil), q.items[q.head:]...)
+		n := copy(q.items, q.items[q.head:])
+		clearTail(q.items[n:])
+		q.items = q.items[:n]
 		q.head = 0
 	}
+	q.out = out
 	return out
+}
+
+// clearTail zeroes vacated entries so pointer-bearing payloads do not
+// outlive their delivery.
+func clearTail[T any](s []entry[T]) {
+	var zero entry[T]
+	for i := range s {
+		s[i] = zero
+	}
+}
+
+// NextReady returns the cycle at which the head item becomes ready, or
+// ^uint64(0) when the queue is empty. Because PopReady only ever
+// delivers from the head, this is exactly the next cycle a PopReady
+// can return anything, even when PushAfter extras make ready times
+// non-monotone behind the head.
+func (q *DelayQueue[T]) NextReady() uint64 {
+	if q.head >= len(q.items) {
+		return ^uint64(0)
+	}
+	return q.items[q.head].readyAt
 }
 
 // Len reports items still queued.

@@ -93,6 +93,26 @@ func (r *Report) FailedExperiments() int {
 	return n
 }
 
+// TotalCycles sums the simulated cycles across all executed runs.
+func (r *Report) TotalCycles() uint64 {
+	var n uint64
+	for _, run := range r.Runs {
+		n += run.Cycles
+	}
+	return n
+}
+
+// AggregateCyclesPerSec is the sweep's fleet throughput: total
+// simulated cycles divided by sweep wall time. With parallel jobs this
+// exceeds any single run's cycles/sec; it is the number to watch when
+// judging simulator performance changes across sweeps.
+func (r *Report) AggregateCyclesPerSec() float64 {
+	if s := r.Wall.Seconds(); s > 0 {
+		return float64(r.TotalCycles()) / s
+	}
+	return 0
+}
+
 // statsJSON is the wire form of WriteStats.
 type statsJSON struct {
 	Command           string      `json:"command,omitempty"`
@@ -103,6 +123,8 @@ type statsJSON struct {
 	CacheHits         uint64      `json:"cache_hits"`
 	CacheMisses       uint64      `json:"cache_misses"`
 	WallSeconds       float64     `json:"wall_seconds"`
+	TotalCycles       uint64      `json:"total_cycles"`
+	AggCyclesPerSec   float64     `json:"aggregate_cycles_per_sec"`
 	FailedExperiments int         `json:"failed_experiments"`
 	Runs              []RunRecord `json:"runs"`
 }
@@ -121,6 +143,8 @@ func (r *Report) WriteStats(w io.Writer, command string) error {
 		CacheHits:         r.CacheHits,
 		CacheMisses:       r.CacheMisses,
 		WallSeconds:       r.Wall.Seconds(),
+		TotalCycles:       r.TotalCycles(),
+		AggCyclesPerSec:   r.AggregateCyclesPerSec(),
 		FailedExperiments: r.FailedExperiments(),
 		Runs:              r.Runs,
 	})

@@ -160,12 +160,20 @@ func TestStatsOutput(t *testing.T) {
 		}
 	}
 
+	if want := uint64(len(rep.Runs)) * 800; rep.TotalCycles() != want {
+		t.Fatalf("TotalCycles = %d, want %d", rep.TotalCycles(), want)
+	}
+	if rep.AggregateCyclesPerSec() <= 0 {
+		t.Fatalf("AggregateCyclesPerSec = %f", rep.AggregateCyclesPerSec())
+	}
+
 	var buf bytes.Buffer
 	if err := rep.WriteStats(&buf, "experiments -exp fig8"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{`"command": "experiments -exp fig8"`, `"planned_runs"`, `"cycles_per_sec"`, `"cache_hits"`} {
+	for _, want := range []string{`"command": "experiments -exp fig8"`, `"planned_runs"`, `"cycles_per_sec"`,
+		`"cache_hits"`, `"total_cycles"`, `"aggregate_cycles_per_sec"`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats JSON missing %s:\n%s", want, out)
 		}

@@ -49,6 +49,24 @@ type GPU struct {
 	tokenSeq uint64
 	loads    map[uint64]loadReq
 
+	// Activity tracking for the event-driven cycle loop. smWake[i] and
+	// partNext[i] are conservative lower bounds on the next cycle SM i
+	// (resp. partition i) could do anything; a component is skipped
+	// while its bound lies in the future, and the whole loop
+	// fast-forwards to the earliest bound when every component is idle.
+	// smLastTick[i] is the last cycle SM i actually ticked, for lazy
+	// full-stall settlement (see smcore.AccountIdle).
+	smWake     []uint64
+	smLastTick []uint64
+	partNext   []uint64
+	// stepped counts executed steps (<= now once fast-forwarding
+	// skips); disableFF forces the legacy every-cycle loop — both are
+	// test hooks for the idle-skip machinery.
+	stepped   uint64
+	disableFF bool
+	// oneTok backs single-token reply delivery without allocating.
+	oneTok [1]uint64
+
 	// inj executes cfg.Faults; nil on the (zero-cost) no-fault path.
 	inj *faults.Injector
 	// probe carries the observability instruments; nil on the
@@ -95,6 +113,9 @@ func New(cfg Config, gen smcore.Generator) (*GPU, error) {
 	for p := 0; p < cfg.NumPartitions; p++ {
 		g.parts = append(g.parts, newPartition(p, g))
 	}
+	g.smWake = make([]uint64, len(g.sms))
+	g.smLastTick = make([]uint64, len(g.sms))
+	g.partNext = make([]uint64, len(g.parts))
 	g.inj = faults.NewInjector(cfg.Faults)
 	g.probe = probe.NewState(cfg.Probe, kindLabels())
 	if in := g.inj; in != nil &&
@@ -217,12 +238,15 @@ func (g *GPU) deliverReply(r smReply) {
 	}
 	fill := g.l1s[lr.sm].Fill(r.globalAddr, lr.fillBypass, false)
 	// L1 is write-through: evictions are clean, no writeback path.
+	// fill.Tokens is cache-owned scratch; completeLoad consumes it
+	// before anything can touch the L1 again.
 	tokens := fill.Tokens
 	if lr.fillBypass {
 		tokens = append(tokens, r.token)
 	}
 	if len(tokens) == 0 {
-		tokens = []uint64{r.token}
+		g.oneTok[0] = r.token
+		tokens = g.oneTok[:]
 	}
 	for _, tok := range tokens {
 		g.completeLoad(tok)
@@ -237,34 +261,132 @@ func (g *GPU) completeLoad(token uint64) {
 	delete(g.loads, token)
 	g.completedLoads++
 	g.sms[lr.sm].Complete(lr.warp, g.now)
+	// The woken warp is ready at now+1.
+	if g.smWake[lr.sm] > g.now+1 {
+		g.smWake[lr.sm] = g.now + 1
+	}
 }
 
-// step advances the machine one cycle.
+// step advances the machine one cycle, touching only components whose
+// activity bound says they could do something. Skipping is
+// state-identical to the legacy all-components step: a DelayQueue with
+// nothing ready pops nothing, an idle partition's tick moves nothing,
+// and an SM with no ready warp only accrues full-stall cycles (settled
+// lazily via AccountIdle).
 func (g *GPU) step() {
 	g.now++
-	// Interconnect deliveries into the partitions.
-	for _, m := range g.toL2.PopReady(g.now) {
-		part, local := g.partitionOf(m.globalAddr)
-		if m.write {
-			g.parts[part].handleL2Write(local, g.now)
-		} else {
-			g.parts[part].handleL2Read(m.globalAddr, local, m.token, g.now)
+	g.stepped++
+	// Interconnect deliveries into the partitions. A delivery re-arms
+	// its partition for this cycle.
+	if g.toL2.NextReady() <= g.now {
+		for _, m := range g.toL2.PopReady(g.now) {
+			part, local := g.partitionOf(m.globalAddr)
+			g.partNext[part] = g.now
+			if m.write {
+				g.parts[part].handleL2Write(local, g.now)
+			} else {
+				g.parts[part].handleL2Read(m.globalAddr, local, m.token, g.now)
+			}
 		}
 	}
 	// Partitions: replies and DRAM.
-	for _, p := range g.parts {
+	for i, p := range g.parts {
+		if g.partNext[i] > g.now {
+			continue
+		}
 		p.tick(g.now)
+		g.partNext[i] = p.nextEvent(g.now)
 	}
 	// Replies into the SMs.
-	for _, r := range g.toSM.PopReady(g.now) {
-		g.deliverReply(r)
+	if g.toSM.NextReady() <= g.now {
+		for _, r := range g.toSM.PopReady(g.now) {
+			g.deliverReply(r)
+		}
 	}
 	// Issue.
-	for _, sm := range g.sms {
+	for i, sm := range g.sms {
+		if g.smWake[i] > g.now {
+			continue
+		}
+		if idle := g.now - g.smLastTick[i] - 1; idle > 0 {
+			sm.AccountIdle(idle)
+		}
 		sm.Tick(g.now, g.issueMem)
+		g.smLastTick[i] = g.now
+		g.smWake[i] = sm.NextReady(g.now + 1)
 	}
 	if g.probe != nil {
 		g.sampleProbe()
+	}
+}
+
+// settleIdleStalls books the full-stall cycles of SMs that were
+// skipped since their last tick, bringing Stalls up to date through
+// g.now. Called before any reader of SM counters outside the loop.
+func (g *GPU) settleIdleStalls() {
+	for i, sm := range g.sms {
+		if idle := g.now - g.smLastTick[i]; idle > 0 {
+			sm.AccountIdle(idle)
+			g.smLastTick[i] = g.now
+		}
+	}
+}
+
+// nextInteresting returns the earliest cycle after g.now at which any
+// component could act: interconnect deliveries, partition events, and
+// SM wake-ups, capped by the cycles external observers must land on —
+// the watchdog's firing cycle and the probe timeline's sampling
+// boundaries.
+func (g *GPU) nextInteresting() uint64 {
+	next := g.toL2.NextReady()
+	if t := g.toSM.NextReady(); t < next {
+		next = t
+	}
+	for _, t := range g.partNext {
+		if t < next {
+			next = t
+		}
+	}
+	for _, t := range g.smWake {
+		if t < next {
+			next = t
+		}
+	}
+	if g.cfg.WatchdogCycles > 0 {
+		// Land exactly on the cycle checkWatchdog would fire, so a
+		// wedged run stalls at the same cycle with the same dump as the
+		// legacy loop.
+		if fire := g.lastProgressAt + g.cfg.WatchdogCycles; fire < next {
+			next = fire
+		}
+	}
+	if g.probe != nil && g.probe.Timeline != nil {
+		// Timeline windows close on every interval multiple.
+		if iv := g.probe.Timeline.Interval(); iv > 0 {
+			if b := (g.now/iv + 1) * iv; b < next {
+				next = b
+			}
+		}
+	}
+	if next <= g.now {
+		next = g.now + 1
+	}
+	return next
+}
+
+// fastForward advances g.now to just before the next interesting
+// cycle, so the following step lands on it. Cycles in between would
+// have been no-op steps.
+func (g *GPU) fastForward() {
+	next := g.nextInteresting()
+	if next > g.cfg.MaxCycles {
+		// Nothing left before the horizon: idle out the remaining
+		// cycles.
+		g.now = g.cfg.MaxCycles
+		return
+	}
+	if next > g.now+1 {
+		g.now = next - 1
 	}
 }
 
@@ -273,6 +395,10 @@ func (g *GPU) step() {
 // stall and an *AuditError when an enabled invariant auditor finds the
 // machine's books out of balance; both carry diagnostic state.
 func (g *GPU) Run() (*Result, error) {
+	// Per-cycle auditing wants every cycle stepped; per-component
+	// skipping inside step stays on (it is state-identical, so the
+	// auditors see the same books).
+	ff := !g.disableFF && !g.cfg.Audit
 	for g.now < g.cfg.MaxCycles {
 		g.step()
 		if g.cfg.Audit {
@@ -282,6 +408,9 @@ func (g *GPU) Run() (*Result, error) {
 		}
 		if err := g.checkWatchdog(); err != nil {
 			return nil, err
+		}
+		if ff {
+			g.fastForward()
 		}
 	}
 	if g.cfg.Audit {
@@ -293,6 +422,7 @@ func (g *GPU) Run() (*Result, error) {
 }
 
 func (g *GPU) collect() *Result {
+	g.settleIdleStalls()
 	res := &Result{Benchmark: g.gen.Name(), Cycles: g.now}
 	for _, sm := range g.sms {
 		res.Instructions += sm.Instructions

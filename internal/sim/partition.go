@@ -1,10 +1,9 @@
 package sim
 
 import (
-	"container/heap"
-
 	"gpusecmem/internal/cache"
 	"gpusecmem/internal/dram"
+	"gpusecmem/internal/eventq"
 	"gpusecmem/internal/faults"
 	"gpusecmem/internal/geometry"
 	"gpusecmem/internal/stats"
@@ -60,19 +59,8 @@ type replyEvent struct {
 	readID uint64
 }
 
-type replyHeap []replyEvent
-
-func (h replyHeap) Len() int            { return len(h) }
-func (h replyHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h replyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *replyHeap) Push(x interface{}) { *h = append(*h, x.(replyEvent)) }
-func (h *replyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// When orders reply events for the partition's eventq.
+func (e replyEvent) When() uint64 { return e.at }
 
 // partition is one memory partition: L2 banks, the secure memory
 // engine (metadata caches, AES engines, MAC unit), and the DRAM
@@ -95,7 +83,10 @@ type partition struct {
 
 	dests   map[uint64]dest
 	reads   map[uint64]*readState
-	replies replyHeap
+	replies eventq.Queue[replyEvent]
+	// rsPool recycles retired readStates; reads are the per-L2-miss
+	// hot-path allocation.
+	rsPool []*readState
 
 	metaStats [numMeta]MetaStats
 
@@ -278,7 +269,14 @@ func (p *partition) handleL2Write(localAddr uint64, now uint64) {
 
 // startRead launches the secure read path for an L2 sector miss.
 func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool, bank int, now uint64) {
-	rs := &readState{
+	var rs *readState
+	if n := len(p.rsPool); n > 0 {
+		rs = p.rsPool[n-1]
+		p.rsPool = p.rsPool[:n-1]
+	} else {
+		rs = new(readState)
+	}
+	*rs = readState{
 		id:         p.gpu.newToken(),
 		globalAddr: globalAddr,
 		localAddr:  localAddr,
@@ -427,14 +425,17 @@ func (p *partition) maybeReply(rs *readState, now uint64) {
 	if pr := p.gpu.probe; pr != nil {
 		p.recordReadSpan(pr, rs, otpReady, encDone, verifyDone, at)
 	}
-	heap.Push(&p.replies, replyEvent{at: at, readID: rs.id})
+	p.replies.Push(replyEvent{at: at, readID: rs.id})
 }
 
 // maybeRetire frees the read state once the reply has fired and every
-// tracked fill has returned.
+// tracked fill has returned. The state returns to the pool; callers
+// must not touch rs after this (a recycled state gets a fresh token,
+// so stale IDs in late events simply miss the reads map).
 func (p *partition) maybeRetire(rs *readState) {
 	if rs.finished && rs.dataDone && rs.ctrDone && rs.macDone {
 		delete(p.reads, rs.id)
+		p.rsPool = append(p.rsPool, rs)
 	}
 }
 
@@ -601,9 +602,27 @@ func (p *partition) verifyWalk(level int, idx uint64, now uint64) {
 
 // --- DRAM completion dispatch ---
 
+// nextEvent returns the earliest cycle after `now` at which tick could
+// do anything — fire a scheduled reply or move the DRAM channel —
+// assuming no new L2 message arrives in between (the cycle loop
+// re-arms the partition on delivery). Like dram.NextEvent it is a
+// lower bound: undershooting costs a no-op tick, which is exactly what
+// the legacy every-cycle loop did, so skipping up to the bound is
+// state-identical.
+func (p *partition) nextEvent(now uint64) uint64 {
+	next := p.dram.NextEvent(now)
+	if r := p.replies.NextWhen(); r < next {
+		next = r
+	}
+	if next <= now && next != ^uint64(0) {
+		next = now + 1
+	}
+	return next
+}
+
 func (p *partition) tick(now uint64) {
-	for len(p.replies) > 0 && p.replies[0].at <= now {
-		ev := heap.Pop(&p.replies).(replyEvent)
+	for p.replies.Len() > 0 && p.replies.Min().at <= now {
+		ev := p.replies.Pop()
 		if rs, ok := p.reads[ev.readID]; ok {
 			p.finishRead(rs, now)
 		}

@@ -39,7 +39,7 @@ func drain(t *testing.T, p *partition, from, limit uint64) uint64 {
 	now := from
 	for ; now < from+limit; now++ {
 		p.tick(now)
-		if p.dram.Drained() && len(p.replies) == 0 {
+		if p.dram.Drained() && p.replies.Len() == 0 {
 			return now
 		}
 	}

@@ -100,7 +100,7 @@ func (g *GPU) dumpState() string {
 
 	busy := 0
 	for _, p := range g.parts {
-		if p.dram.InFlight() == 0 && len(p.reads) == 0 && len(p.dests) == 0 && len(p.replies) == 0 {
+		if p.dram.InFlight() == 0 && len(p.reads) == 0 && len(p.dests) == 0 && p.replies.Len() == 0 {
 			continue
 		}
 		busy++
@@ -110,7 +110,7 @@ func (g *GPU) dumpState() string {
 				l2Pending += bank.PendingFills()
 			}
 			fmt.Fprintf(&b, "partition %d: dram queue %d, in flight %d, reads %d, fills awaited %d, replies scheduled %d, L2 MSHR fills %d\n",
-				p.id, p.dram.QueueLen(), p.dram.InFlight(), len(p.reads), len(p.dests), len(p.replies), l2Pending)
+				p.id, p.dram.QueueLen(), p.dram.InFlight(), len(p.reads), len(p.dests), p.replies.Len(), l2Pending)
 		}
 	}
 	fmt.Fprintf(&b, "partitions with work: %d/%d\n", busy, len(g.parts))

@@ -163,6 +163,39 @@ func (s *SM) Tick(now uint64, issueMem func(MemIssue) int) {
 	}
 }
 
+// NextReady returns the earliest cycle >= now at which some warp can
+// issue, or ^uint64(0) when every warp is blocked on memory (the SM
+// can then only be woken by a Complete). A Tick before the returned
+// cycle would find no ready warp and only accrue full-stall cycles —
+// which AccountIdle settles in bulk — so the cycle loop may skip the
+// SM until then without changing any machine state.
+func (s *SM) NextReady(now uint64) uint64 {
+	next := ^uint64(0)
+	for w := range s.warps {
+		ws := &s.warps[w]
+		if ws.phase == phaseBlocked {
+			continue
+		}
+		t := ws.readyAt
+		if t < now {
+			t = now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// AccountIdle books `cycles` skipped full-stall cycles: a Tick with no
+// ready warp issues nothing, moves no scheduler state (pick leaves the
+// greedy pointer alone when it finds nothing), and adds exactly one
+// stall per issue slot — so skipping it and settling the stalls later
+// is state-identical to having ticked.
+func (s *SM) AccountIdle(cycles uint64) {
+	s.Stalls += cycles * uint64(s.issueWidth)
+}
+
 // pick implements greedy-then-oldest: keep issuing from the current
 // warp while it is ready; otherwise choose the ready warp that issued
 // least recently.
