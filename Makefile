@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race smoke bench gobench results audit fuzz
+.PHONY: verify vet build test race race-full smoke bench gobench results audit fuzz daemon
 
 ## verify: vet + build + full test suite + CLI smoke run (tier-1 gate)
 verify: vet build test smoke
@@ -20,6 +20,16 @@ test:
 ## race: concurrency suite under the race detector (short cycle budget)
 race:
 	$(GO) test -race -short ./...
+
+## race-full: the whole suite under the race detector (CI runs this on
+## a weekly schedule; expect tens of minutes)
+race-full:
+	$(GO) test -race ./...
+
+## daemon: serve results over HTTP with a local persistent cache
+## (catalogue, ad-hoc runs, experiment tables; see README)
+daemon:
+	$(GO) run ./cmd/secmemd -addr localhost:8080 -cache-dir .cache/results
 
 ## smoke: fastest end-to-end CLI exercise (static table, no simulation)
 smoke:

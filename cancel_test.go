@@ -1,0 +1,217 @@
+package gpusecmem
+
+// Cancellation semantics of the singleflight memo: a cancelled run
+// propagates the bare context error, is never memoized, and never
+// poisons waiters — they retry and the next attempt completes.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockingSimulate returns a simulate stub whose first call blocks
+// until its context dies (reporting the context error) and whose
+// later calls succeed immediately.
+func blockingSimulate(calls *atomic.Int64, started chan<- struct{}) func(context.Context, Config, string) (*Result, error) {
+	return func(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &Result{Benchmark: benchmark, Cycles: cfg.MaxCycles, Instructions: 1}, nil
+	}
+}
+
+func TestRunECancelledNotMemoized(t *testing.T) {
+	gctx := NewContext(Options{Cycles: 1000})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	gctx.simulate = blockingSimulate(&calls, started)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := gctx.RunE(ctx, BaselineConfig(), "nw")
+		errc <- err
+	}()
+	<-started
+	cancel()
+	err := <-errc
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var re *RunError
+	if errors.As(err, &re) {
+		t.Fatalf("cancellation wrapped in *RunError: %v", err)
+	}
+
+	// The failure is NOT memoized: a retry simulates again and
+	// completes.
+	res, err := gctx.RunE(context.Background(), BaselineConfig(), "nw")
+	if err != nil {
+		t.Fatalf("retry after cancel failed: %v", err)
+	}
+	if res == nil || res.Instructions != 1 {
+		t.Fatalf("retry returned %+v", res)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("simulate called %d times, want 2 (cancelled + retry)", n)
+	}
+}
+
+// TestCancelWaitersRetry pins the waiter contract: goroutines blocked
+// on a flight whose owner gets cancelled must not inherit the
+// cancellation — they retry the run under their own context.
+func TestCancelWaitersRetry(t *testing.T) {
+	gctx := NewContext(Options{Cycles: 1000})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	gctx.simulate = blockingSimulate(&calls, started)
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, err := gctx.RunE(ctxA, BaselineConfig(), "nw")
+		errA <- err
+	}()
+	<-started
+
+	// B joins the in-flight run with an independent context.
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*Result, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = gctx.RunE(context.Background(), BaselineConfig(), "nw")
+		}(i)
+	}
+	// Give the waiters a moment to park on the flight, then cancel the
+	// owner out from under them.
+	time.Sleep(10 * time.Millisecond)
+	cancelA()
+
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d inherited the cancellation: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].Instructions != 1 {
+			t.Fatalf("waiter %d result = %+v", i, results[i])
+		}
+	}
+	// Exactly one retry ran for all waiters (singleflight held).
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("simulate called %d times, want 2 (cancelled + one shared retry)", n)
+	}
+}
+
+// TestRunECancelledSkipsDiskCache asserts a cancelled attempt leaves
+// the persistent tier untouched and the retry populates it normally.
+func TestRunECancelledSkipsDiskCache(t *testing.T) {
+	gctx := NewContext(Options{Cycles: 1000})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	gctx.simulate = blockingSimulate(&calls, started)
+	disk := &mapCache{m: make(map[string]*Result)}
+	gctx.SetResultCache(disk)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := gctx.RunE(ctx, BaselineConfig(), "nw")
+		errc <- err
+	}()
+	<-started
+	cancel()
+	<-errc
+
+	if n := len(disk.m); n != 0 {
+		t.Fatalf("cancelled run wrote %d disk entries", n)
+	}
+	if _, err := gctx.RunE(context.Background(), BaselineConfig(), "nw"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(disk.m); n != 1 {
+		t.Fatalf("retry wrote %d disk entries, want 1", n)
+	}
+	st := gctx.CacheStats()
+	if st.DiskHits != 0 {
+		t.Fatalf("unexpected disk hits: %+v", st)
+	}
+}
+
+// TestRunEDiskHit verifies the persistent tier short-circuits
+// simulation and is counted.
+func TestRunEDiskHit(t *testing.T) {
+	gctx := NewContext(Options{Cycles: 1000})
+	var calls atomic.Int64
+	gctx.simulate = func(context.Context, Config, string) (*Result, error) {
+		calls.Add(1)
+		return nil, errors.New("should not simulate")
+	}
+	want := &Result{Benchmark: "nw", Instructions: 42}
+	keyCfg := BaselineConfig()
+	keyCfg.MaxCycles = 1000 // RunE applies Options.Cycles before keying
+	disk := &mapCache{m: map[string]*Result{
+		RunKey(keyCfg, "nw"): want,
+	}}
+	gctx.SetResultCache(disk)
+
+	res, err := gctx.RunE(context.Background(), BaselineConfig(), "nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want {
+		t.Fatalf("res = %+v, want the disk entry", res)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("disk hit still simulated")
+	}
+	if st := gctx.CacheStats(); st.DiskHits != 1 {
+		t.Fatalf("stats = %+v, want 1 disk hit", st)
+	}
+	// And the memo now holds it: a second call is a memory hit, no
+	// second disk read.
+	disk.m = nil
+	if _, err := gctx.RunE(context.Background(), BaselineConfig(), "nw"); err != nil {
+		t.Fatal(err)
+	}
+	if st := gctx.CacheStats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 memo hit", st)
+	}
+}
+
+// mapCache is a trivial in-memory ResultCache for tests. Method
+// receivers take the lock so concurrent RunE calls stay race-clean.
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]*Result
+}
+
+func (c *mapCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+func (c *mapCache) Put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*Result)
+	}
+	c.m[key] = res
+}

@@ -9,32 +9,48 @@
 //	experiments -exp all -out results/           # one file per experiment
 //	experiments -exp all -jobs 8 -progress       # parallel sweep with ticker
 //	experiments -exp all -stats-out runs.json    # machine-readable run stats
+//	experiments -exp all -cache-dir ~/.cache/gpusecmem   # persistent results
 //
 // Runs execute on a worker pool (default GOMAXPROCS workers) and are
 // memoized with singleflight semantics, so shared configurations
-// simulate exactly once. Output is rendered in catalogue order from
-// the memoized results and is byte-identical at any -jobs value;
-// timing and progress chatter goes to stderr, data to stdout or -out.
+// simulate exactly once. With -cache-dir, results also persist on disk
+// keyed by their canonical configuration digest, so repeated sweeps
+// across process restarts skip simulation entirely. Output is rendered
+// in catalogue order from the memoized results and is byte-identical
+// at any -jobs value; timing and progress chatter goes to stderr, data
+// to stdout or -out.
+//
+// SIGINT (Ctrl-C) cancels the sweep cooperatively: in-flight runs stop
+// at their next cancellation check, the pool drains, and -stats-out is
+// still flushed — marked "aborted": true with the runs completed so
+// far. All file artifacts are written atomically (temp + rename), so
+// an interrupted regeneration never leaves truncated tables.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"gpusecmem"
+	"gpusecmem/internal/atomicfile"
 	"gpusecmem/internal/report"
+	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/runner"
 )
 
 // stampFor reconstructs the canonical regeneration command for one
 // experiment's output. Only flags that affect content appear —
-// -jobs/-progress/-stats-out/-out are deliberately excluded so output
-// stays byte-identical across worker counts and target directories.
+// -jobs/-progress/-stats-out/-out/-cache-dir are deliberately excluded
+// so output stays byte-identical across worker counts, caches, and
+// target directories.
 func stampFor(expID string, cycles uint64, benchmarks, format string) string {
 	parts := []string{"go run ./cmd/experiments", "-exp " + expID}
 	parts = append(parts, fmt.Sprintf("-cycles %d", cycles))
@@ -60,6 +76,7 @@ func main() {
 		statsOut   = flag.String("stats-out", "", "write machine-readable per-run stats (JSON) to this file")
 		audit      = flag.Bool("audit", false, "run every simulation with invariant auditors enabled (changes memo keys; slower)")
 		debugAddr  = flag.String("debug-addr", "", "serve the sweep debug HTTP endpoint (live progress, expvar, pprof) on this address, e.g. localhost:6060")
+		cacheDir   = flag.String("cache-dir", "", "persist simulation results in this directory, keyed by canonical config digest")
 	)
 	flag.Parse()
 
@@ -78,7 +95,15 @@ func main() {
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}
-	ctx := gpusecmem.NewContext(opts)
+	gctx := gpusecmem.NewContext(opts)
+	if *cacheDir != "" {
+		disk, err := resultcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gctx.SetResultCache(disk)
+	}
 
 	var selected []gpusecmem.Experiment
 	if *exp == "all" {
@@ -99,11 +124,21 @@ func main() {
 		}
 	}
 
-	rep := runner.Run(ctx, selected, runner.Options{
+	// Ctrl-C cancels the sweep cooperatively: runner.Run drains the
+	// pool and returns a partial, Aborted report; -stats-out is still
+	// flushed below. A second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep := runner.Run(ctx, gctx, selected, runner.Options{
 		Jobs:      *jobs,
 		Progress:  *progress,
 		DebugAddr: *debugAddr,
 	})
+	if rep.Aborted {
+		fmt.Fprintf(os.Stderr, "interrupted: %d/%d runs completed before cancellation\n",
+			rep.ExecutedRuns, rep.PlannedRuns)
+	}
 
 	failures := 0
 	for _, res := range rep.Results {
@@ -117,65 +152,60 @@ func main() {
 			continue
 		}
 
-		var w io.Writer = os.Stdout
-		var f *os.File
-		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+"."+report.Ext(*format))
-			var err error
-			f, err = os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+		render := func(w io.Writer) error {
+			fmt.Fprintf(w, "# %s\n", e.Title)
+			fmt.Fprintf(w, "# paper: %s\n", e.PaperFinding)
+			fmt.Fprintf(w, "# generated: %s\n", stampFor(e.ID, *cycles, *benchmarks, *format))
+			for _, t := range res.Tables {
+				if err := t.Write(w, *format); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
 			}
-			w = f
+			return nil
 		}
-
-		fmt.Fprintf(w, "# %s\n", e.Title)
-		fmt.Fprintf(w, "# paper: %s\n", e.PaperFinding)
-		fmt.Fprintf(w, "# generated: %s\n", stampFor(e.ID, *cycles, *benchmarks, *format))
-		for _, t := range res.Tables {
-			if err := t.Write(w, *format); err != nil {
+		if *outDir == "" {
+			if err := render(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "write: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintln(w)
+			continue
 		}
-		if f != nil {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Fprintf(os.Stderr, "%-22s -> %s (%s)\n",
-				e.ID, filepath.Join(*outDir, e.ID+"."+report.Ext(*format)),
-				res.Elapsed.Round(time.Millisecond))
+		path := filepath.Join(*outDir, e.ID+"."+report.Ext(*format))
+		if err := atomicfile.WriteFile(path, render); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "%-22s -> %s (%s)\n",
+			e.ID, path, res.Elapsed.Round(time.Millisecond))
 	}
 
+	diskNote := ""
+	if *cacheDir != "" {
+		diskNote = fmt.Sprintf(" (%d from disk)", rep.DiskHits)
+	}
 	fmt.Fprintf(os.Stderr,
-		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses, jobs %d, wall %s, %.0f cycles/sec aggregate\n",
+		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses%s, jobs %d, wall %s, %.0f cycles/sec aggregate\n",
 		len(rep.Results), failures, rep.PlannedRuns, rep.ExecutedRuns, rep.FailedRuns,
-		rep.CacheHits, rep.CacheMisses, rep.Jobs, rep.Wall.Round(time.Millisecond),
+		rep.CacheHits, rep.CacheMisses, diskNote, rep.Jobs, rep.Wall.Round(time.Millisecond),
 		rep.AggregateCyclesPerSec())
 
 	if *statsOut != "" {
-		sf, err := os.Create(*statsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 		cmd := "experiments " + strings.Join(os.Args[1:], " ")
-		if err := rep.WriteStats(sf, cmd); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := sf.Close(); err != nil {
+		err := atomicfile.WriteFile(*statsOut, func(w io.Writer) error {
+			return rep.WriteStats(w, cmd)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "stats -> %s\n", *statsOut)
 	}
 
-	if failures > 0 {
+	switch {
+	case rep.Aborted:
+		os.Exit(130)
+	case failures > 0:
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,99 @@
+// Command secmemd serves simulation results over HTTP/JSON: the
+// benchmark/scheme catalogue, ad-hoc runs, and the paper's experiment
+// tables, backed by an in-memory LRU and an optional on-disk result
+// cache so repeated requests — across restarts — skip simulation.
+//
+// Usage:
+//
+//	secmemd -addr :8080 -cache-dir /var/cache/gpusecmem
+//	curl localhost:8080/api/catalogue
+//	curl 'localhost:8080/api/run?bench=nw&scheme=ctr_mac_bmt&cycles=3000'
+//	curl 'localhost:8080/api/experiment/fig8?format=csv&cycles=6000'
+//	curl localhost:8080/healthz
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight requests get -drain to finish, then remaining simulations
+// are cancelled cooperatively and the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpusecmem/internal/daemon"
+	"gpusecmem/internal/resultcache"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results in this directory (shared with cmd/experiments)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", -1, "admitted requests waiting beyond -workers before 429 (-1 = 2*workers)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
+		memCap   = flag.Int("mem-cache", 256, "in-process result LRU entries (negative disables)")
+	)
+	flag.Parse()
+
+	cfg := daemon.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RequestTimeout:  *timeout,
+		MemCacheEntries: *memCap,
+	}
+	if *cacheDir != "" {
+		disk, err := resultcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Cache = disk
+		fmt.Fprintf(os.Stderr, "secmemd: result cache at %s (%d entries)\n", disk.Dir(), disk.Len())
+	}
+	d := daemon.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	fmt.Fprintf(os.Stderr, "secmemd: serving http://%s/ (/api/catalogue, /api/run, /api/experiment/{id}, /healthz)\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the usual way
+
+	fmt.Fprintf(os.Stderr, "secmemd: shutting down (draining up to %s)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain budget exhausted: cancel in-flight simulations so their
+		// handlers return, then close whatever is left.
+		fmt.Fprintln(os.Stderr, "secmemd: drain expired, cancelling in-flight runs")
+		d.Abort()
+		abortCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := srv.Shutdown(abortCtx); err != nil {
+			srv.Close()
+		}
+	}
+	fmt.Fprintln(os.Stderr, "secmemd: bye")
+}

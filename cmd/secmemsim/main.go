@@ -18,12 +18,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"gpusecmem"
+	"gpusecmem/internal/atomicfile"
 )
 
 func schemeConfig(scheme string, aesLatency, engines, metaKB, mshrs int, unified bool) (gpusecmem.Config, error) {
@@ -108,17 +110,25 @@ func main() {
 	}
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		// The profile streams into a temp file and only renames into
+		// place on a clean finish — a mid-run kill leaves no truncated
+		// profile behind.
+		f, err := atomicfile.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	// The baseline comparison run stays fault-free and unaudited: it is
@@ -134,16 +144,8 @@ func main() {
 		fail(err)
 	}
 	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
 		runtime.GC() // settle the heap so the profile shows retained state
-		err = pprof.WriteHeapProfile(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err := atomicfile.WriteFile(*memProfile, pprof.WriteHeapProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -209,36 +211,26 @@ func main() {
 	}
 }
 
-// writeProbeFiles exports a probed run's timeline and trace artifacts.
+// writeProbeFiles exports a probed run's timeline and trace artifacts
+// (atomically: a failed export leaves no partial file).
 func writeProbeFiles(res *gpusecmem.Result, timeline, traceOut string) error {
 	pr := res.Probe
 	if timeline != "" {
-		f, err := os.Create(timeline)
-		if err != nil {
-			return err
-		}
-		if strings.HasSuffix(timeline, ".csv") {
-			err = gpusecmem.WriteTimelineCSV(f, pr.Timeline)
-		} else {
-			err = gpusecmem.WriteTimelineNDJSON(f, pr.Timeline)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err := atomicfile.WriteFile(timeline, func(w io.Writer) error {
+			if strings.HasSuffix(timeline, ".csv") {
+				return gpusecmem.WriteTimelineCSV(w, pr.Timeline)
+			}
+			return gpusecmem.WriteTimelineNDJSON(w, pr.Timeline)
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "timeline -> %s (%d windows)\n", timeline, len(pr.Timeline))
 	}
 	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		err = gpusecmem.WriteChromeTrace(f, pr)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		err := atomicfile.WriteFile(traceOut, func(w io.Writer) error {
+			return gpusecmem.WriteChromeTrace(w, pr)
+		})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ package gpusecmem
 // planning.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -38,7 +39,7 @@ func TestRunKeyCanonical(t *testing.T) {
 func TestSingleflightStress(t *testing.T) {
 	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"nw"}})
 	var calls atomic.Int64
-	ctx.simulate = func(cfg Config, benchmark string) (*Result, error) {
+	ctx.simulate = func(_ context.Context, cfg Config, benchmark string) (*Result, error) {
 		calls.Add(1)
 		time.Sleep(20 * time.Millisecond) // widen the race window
 		return &Result{Benchmark: benchmark, Cycles: cfg.MaxCycles, Instructions: 1}, nil
@@ -74,12 +75,12 @@ func TestRunErrorMemoizedAndPropagated(t *testing.T) {
 	ctx := NewContext(Options{Cycles: 1000})
 	var calls atomic.Int64
 	boom := errors.New("boom")
-	ctx.simulate = func(Config, string) (*Result, error) {
+	ctx.simulate = func(context.Context, Config, string) (*Result, error) {
 		calls.Add(1)
 		return nil, boom
 	}
 
-	_, err := ctx.RunE(BaselineConfig(), "nw")
+	_, err := ctx.RunE(context.Background(), BaselineConfig(), "nw")
 	var re *RunError
 	if !errors.As(err, &re) {
 		t.Fatalf("RunE error = %v, want *RunError", err)
@@ -92,7 +93,7 @@ func TestRunErrorMemoizedAndPropagated(t *testing.T) {
 	}
 
 	// The failure is memoized: no retry per requester.
-	if _, err2 := ctx.RunE(BaselineConfig(), "nw"); err2 != err {
+	if _, err2 := ctx.RunE(context.Background(), BaselineConfig(), "nw"); err2 != err {
 		t.Fatalf("second call returned a different error: %v", err2)
 	}
 	if n := calls.Load(); n != 1 {
@@ -112,7 +113,7 @@ func TestRunErrorMemoizedAndPropagated(t *testing.T) {
 
 func TestSimulatorPanicBecomesError(t *testing.T) {
 	ctx := NewContext(Options{Cycles: 1000, Benchmarks: []string{"no-such-benchmark"}})
-	_, err := ctx.RunE(BaselineConfig(), "no-such-benchmark")
+	_, err := ctx.RunE(context.Background(), BaselineConfig(), "no-such-benchmark")
 	var re *RunError
 	if !errors.As(err, &re) {
 		t.Fatalf("unknown benchmark: err = %v, want *RunError", err)

@@ -1,7 +1,9 @@
 package gpusecmem
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -109,13 +111,34 @@ type flight struct {
 	res  *Result
 	err  error
 	wall time.Duration
+	// cancelled marks a flight whose owning request's context was
+	// cancelled mid-run. The flight is removed from the memo map before
+	// done closes, so waiters retry instead of inheriting the
+	// cancellation — a cancelled run never poisons the cache.
+	cancelled bool
 }
 
 // CacheStats counts memo-cache behaviour across a Context's lifetime.
-// Hits include requests that blocked on an in-flight run.
+// Hits include requests that blocked on an in-flight run. DiskHits
+// counts memo misses that were then served from the persistent
+// ResultCache instead of simulating; cancelled attempts count as
+// misses (and miss again when retried).
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits     uint64
+	Misses   uint64
+	DiskHits uint64
+}
+
+// ResultCache is a persistent result store layered under the in-memory
+// singleflight memo: on a memo miss the Context consults Get before
+// simulating and calls Put with every freshly simulated result.
+// Implementations must be safe for concurrent use and are expected to
+// be content-addressed by the canonical RunKey (internal/resultcache
+// is the on-disk implementation). A cache hit must return a Result
+// that renders byte-identically to a fresh simulation.
+type ResultCache interface {
+	Get(key string) (*Result, bool)
+	Put(key string, res *Result)
 }
 
 // RunStat describes one completed simulation for observability
@@ -147,12 +170,19 @@ type Context struct {
 	opts Options
 	// simulate is the simulation entry point; tests substitute it to
 	// count calls and inject failures.
-	simulate func(Config, string) (*Result, error)
+	simulate func(context.Context, Config, string) (*Result, error)
 
-	mu     sync.Mutex
-	cache  map[string]*flight
-	hits   uint64
-	misses uint64
+	// base is the context consulted by the ctx-less Run entry point
+	// experiment bodies use; context.Background() until SetBaseContext.
+	base context.Context
+	// disk is the optional persistent cache layered under the memo.
+	disk ResultCache
+
+	mu       sync.Mutex
+	cache    map[string]*flight
+	hits     uint64
+	misses   uint64
+	diskHits uint64
 
 	// Planning mode: Run records specs instead of simulating, so a
 	// runner can pre-plan the deduplicated work set of a sweep.
@@ -165,10 +195,27 @@ type Context struct {
 func NewContext(opts Options) *Context {
 	return &Context{
 		opts:     opts.withDefaults(),
-		simulate: Simulate,
+		simulate: SimulateContext,
+		base:     context.Background(),
 		cache:    make(map[string]*flight),
 	}
 }
+
+// SetBaseContext sets the context consulted by Run, the ctx-less entry
+// point experiment bodies use (RunE takes its context explicitly).
+// Cancelling it makes subsequent Run calls panic with the cancellation
+// error, which the runner recovers and reports per experiment.
+func (c *Context) SetBaseContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.base = ctx
+}
+
+// SetResultCache layers a persistent result store under the in-memory
+// memo (see ResultCache). Pass nil to detach. Not safe to call while
+// runs are in flight.
+func (c *Context) SetResultCache(rc ResultCache) { c.disk = rc }
 
 // Benchmarks returns the benchmark list in effect.
 func (c *Context) Benchmarks() []string { return c.opts.Benchmarks }
@@ -190,39 +237,88 @@ func planPlaceholder(benchmark string) *Result {
 // semantics, and propagates simulator failures as *RunError instead of
 // panicking. Errors are memoized too: a deterministic failure is
 // reported once per key, not retried per requester.
-func (c *Context) RunE(cfg Config, benchmark string) (*Result, error) {
+//
+// Cancellation follows the request, not the cache: when ctx is
+// cancelled RunE returns (nil, ctx.Err()) — whether it was waiting on
+// another request's in-flight run or owned the run itself — and a
+// cancelled run is removed from the memo before its waiters wake, so
+// a later request re-simulates cleanly. A persistent ResultCache, when
+// attached, is consulted on memo misses and fed every fresh result.
+func (c *Context) RunE(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
 	cfg.MaxCycles = c.opts.Cycles
 	if c.opts.Audit {
 		cfg.Audit = true
 	}
 	key := RunKey(cfg, benchmark)
 
-	c.mu.Lock()
-	if c.planning {
-		if !c.planSeen[key] {
-			c.planSeen[key] = true
-			c.plan = append(c.plan, RunSpec{Cfg: cfg, Benchmark: benchmark, Key: key})
+	for {
+		c.mu.Lock()
+		if c.planning {
+			if !c.planSeen[key] {
+				c.planSeen[key] = true
+				c.plan = append(c.plan, RunSpec{Cfg: cfg, Benchmark: benchmark, Key: key})
+			}
+			c.mu.Unlock()
+			return planPlaceholder(benchmark), nil
 		}
+		if f, ok := c.cache[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.cancelled {
+				// The owning request was cancelled and the flight
+				// un-memoized; this requester is still live, so retry.
+				continue
+			}
+			return f.res, f.err
+		}
+		f := &flight{seq: len(c.cache), done: make(chan struct{})}
+		c.cache[key] = f
+		c.misses++
 		c.mu.Unlock()
-		return planPlaceholder(benchmark), nil
+		return c.runFlight(ctx, f, key, cfg, benchmark)
 	}
-	if f, ok := c.cache[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-f.done
-		return f.res, f.err
-	}
-	f := &flight{seq: len(c.cache), done: make(chan struct{})}
-	c.cache[key] = f
-	c.misses++
-	c.mu.Unlock()
+}
 
+// runFlight executes one owned memo entry: persistent-cache lookup,
+// simulation, cancellation un-memoization, and write-back.
+func (c *Context) runFlight(ctx context.Context, f *flight, key string, cfg Config, benchmark string) (*Result, error) {
 	start := time.Now()
-	res, err, stack := safeSimulate(c.simulate, cfg, benchmark)
+	if c.disk != nil {
+		if res, ok := c.disk.Get(key); ok {
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+			f.wall = time.Since(start)
+			f.res = res
+			close(f.done)
+			return res, nil
+		}
+	}
+	res, err, stack := safeSimulate(ctx, c.simulate, cfg, benchmark)
 	f.wall = time.Since(start)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// A cancelled run is the requester's fate, not the key's:
+		// remove the flight so the next request simulates afresh, and
+		// mark it so current waiters retry instead of inheriting the
+		// cancellation.
+		c.mu.Lock()
+		delete(c.cache, key)
+		c.mu.Unlock()
+		f.cancelled = true
+		f.err = err
+		close(f.done)
+		return nil, err
+	}
 	f.res = res
 	if err != nil {
 		f.err = &RunError{Benchmark: benchmark, Cfg: cfg, Err: err, Stack: stack}
+	} else if c.disk != nil && res != nil {
+		c.disk.Put(key, res)
 	}
 	close(f.done)
 	return f.res, f.err
@@ -231,13 +327,13 @@ func (c *Context) RunE(cfg Config, benchmark string) (*Result, error) {
 // safeSimulate converts a simulator panic into an error plus the
 // captured stack, so one bad run fails its experiments instead of
 // killing the whole sweep — worker goroutines must never die.
-func safeSimulate(sim func(Config, string) (*Result, error), cfg Config, benchmark string) (r *Result, err error, stack string) {
+func safeSimulate(ctx context.Context, sim func(context.Context, Config, string) (*Result, error), cfg Config, benchmark string) (r *Result, err error, stack string) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, err, stack = nil, fmt.Errorf("simulator panic: %v", p), string(debug.Stack())
 		}
 	}()
-	r, err = sim(cfg, benchmark)
+	r, err = sim(ctx, cfg, benchmark)
 	return r, err, ""
 }
 
@@ -245,8 +341,10 @@ func safeSimulate(sim func(Config, string) (*Result, error), cfg Config, benchma
 // panics with the *RunError so existing experiment bodies need no
 // error plumbing; the runner (internal/runner) recovers it per
 // experiment, reports the failing config, and continues the sweep.
+// Run consults the Context's base context (SetBaseContext) for
+// cancellation; a cancelled run panics with the context error.
 func (c *Context) Run(cfg Config, benchmark string) *Result {
-	r, err := c.RunE(cfg, benchmark)
+	r, err := c.RunE(c.base, cfg, benchmark)
 	if err != nil {
 		panic(err)
 	}
@@ -262,6 +360,7 @@ func (c *Context) Run(cfg Config, benchmark string) *Result {
 func (c *Context) PlanRuns(exps []Experiment) []RunSpec {
 	shadow := &Context{
 		opts:     c.opts,
+		base:     context.Background(),
 		planning: true,
 		planSeen: make(map[string]bool),
 	}
@@ -285,7 +384,7 @@ func (c *Context) CachedRuns() int {
 func (c *Context) CacheStats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{Hits: c.hits, Misses: c.misses, DiskHits: c.diskHits}
 }
 
 // RunStats returns per-run observability records for every completed

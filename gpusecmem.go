@@ -19,6 +19,7 @@
 package gpusecmem
 
 import (
+	"context"
 	"io"
 
 	"gpusecmem/internal/faults"
@@ -127,6 +128,15 @@ func DirectMemConfig(aesLatency int, mac, tree bool) Config {
 // Simulate runs one benchmark on one configuration.
 func Simulate(cfg Config, benchmark string) (*Result, error) {
 	return sim.Run(cfg, benchmark)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: when ctx
+// is cancelled the simulation stops at the next check boundary and
+// returns (nil, ctx.Err()) rather than a partial Result. A run whose
+// context is never cancelled produces bit-identical results to
+// Simulate.
+func SimulateContext(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
+	return sim.RunContext(ctx, cfg, benchmark)
 }
 
 // --- Fault injection & self-checking ---

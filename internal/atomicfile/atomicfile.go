@@ -1,0 +1,90 @@
+// Package atomicfile writes files crash-safely: content goes to a
+// temporary file in the destination directory and is renamed over the
+// target only on Commit. A mid-write error, a kill, or an abandoned
+// writer leaves either the old file or no file — never a truncated
+// artifact that parses as corrupt. Every artifact writer in the repo
+// (timelines, traces, stats reports, profiles, experiment tables,
+// cache entries) goes through this package.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is an in-progress atomic write. It implements io.Writer so
+// streaming producers (pprof, encoders) can target it directly.
+type File struct {
+	tmp  *os.File
+	path string
+	done bool
+}
+
+// Create starts an atomic write of path. The temporary file lives in
+// path's directory so the final rename stays on one filesystem.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write appends to the temporary file.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit flushes the temporary file to stable storage and renames it
+// over the destination. After Commit the File is spent.
+func (f *File) Commit() error {
+	if f.done {
+		return fmt.Errorf("atomicfile: %s already committed or aborted", f.path)
+	}
+	f.done = true
+	if err := f.tmp.Sync(); err != nil {
+		f.cleanup()
+		return err
+	}
+	if err := f.tmp.Close(); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temporary file, leaving any existing destination
+// untouched. Safe to call after Commit (a no-op), so callers can
+// `defer f.Abort()` and Commit on the success path.
+func (f *File) Abort() {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.cleanup()
+}
+
+func (f *File) cleanup() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+}
+
+// WriteFile writes path atomically with the content produced by fill.
+// Any error — from fill or the filesystem — leaves the destination
+// untouched.
+func WriteFile(path string, fill func(io.Writer) error) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if err := fill(f); err != nil {
+		return err
+	}
+	return f.Commit()
+}

@@ -1,0 +1,109 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCommits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello\n" {
+		t.Fatalf("content = %q", b)
+	}
+}
+
+func TestFailedFillLeavesOldContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "old" {
+		t.Fatalf("destination overwritten with %q", b)
+	}
+}
+
+func TestAbortLeavesNoFileOrTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "half-written")
+	f.Abort()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after abort (stat err %v)", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestCommitRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(f, "x")
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort() // post-commit abort must be a no-op
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "x" {
+		t.Fatalf("content %q err %v", b, err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestDoubleCommitErrors(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("second Commit succeeded")
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

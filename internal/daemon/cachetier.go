@@ -1,0 +1,129 @@
+package daemon
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"gpusecmem"
+)
+
+// memCache is the daemon's in-process result store: a bounded LRU
+// over canonical RunKeys, shared by every request. It only ever holds
+// pointers to immutable completed Results, so concurrent readers need
+// no copies. cap<=0 disables it (every Get misses, Put is a no-op) —
+// useful when a disk cache is the only tier wanted.
+type memCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	res *gpusecmem.Result
+}
+
+func newMemCache(cap int) *memCache {
+	return &memCache{cap: cap, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (m *memCache) get(key string) (*gpusecmem.Result, bool) {
+	if m.cap <= 0 {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry).res, true
+}
+
+func (m *memCache) put(key string, res *gpusecmem.Result) {
+	if m.cap <= 0 || res == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[key]; ok {
+		el.Value.(*memEntry).res = res
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.order.PushFront(&memEntry{key: key, res: res})
+	for m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memEntry).key)
+	}
+}
+
+func (m *memCache) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// cacheView is a per-request gpusecmem.ResultCache over the shared
+// tiers: memory first, then the persistent store (promoting disk hits
+// into memory). Each request gets its own view so hit attribution —
+// the "source" field the smoke tests assert on — is exact even under
+// concurrent requests.
+type cacheView struct {
+	mem  *memCache
+	disk gpusecmem.ResultCache // nil when the daemon has no -cache-dir
+
+	memHits, diskHits, puts atomic.Uint64
+}
+
+func (s *Server) newView() *cacheView {
+	return &cacheView{mem: s.mem, disk: s.cfg.Cache}
+}
+
+func (v *cacheView) Get(key string) (*gpusecmem.Result, bool) {
+	if res, ok := v.mem.get(key); ok {
+		v.memHits.Add(1)
+		return res, true
+	}
+	if v.disk != nil {
+		if res, ok := v.disk.Get(key); ok {
+			v.diskHits.Add(1)
+			v.mem.put(key, res)
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+func (v *cacheView) Put(key string, res *gpusecmem.Result) {
+	v.puts.Add(1)
+	v.mem.put(key, res)
+	if v.disk != nil {
+		v.disk.Put(key, res)
+	}
+}
+
+// source summarizes where this request's results came from, worst
+// tier wins: any fresh simulation makes the whole request
+// "simulated", else any disk read makes it "disk", else "memory".
+func (v *cacheView) source() string {
+	switch {
+	case v.puts.Load() > 0:
+		return "simulated"
+	case v.diskHits.Load() > 0:
+		return "disk"
+	default:
+		return "memory"
+	}
+}
+
+// count folds the view's tallies into the daemon-wide metrics.
+func (v *cacheView) count(m *metrics) {
+	m.memHits.Add(v.memHits.Load())
+	m.diskHits.Add(v.diskHits.Load())
+	m.simulated.Add(v.puts.Load())
+}

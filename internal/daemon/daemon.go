@@ -1,0 +1,524 @@
+// Package daemon implements secmemd, the long-running HTTP/JSON
+// service that serves simulation results. It layers the existing
+// execution stack instead of duplicating it: each admitted request
+// gets a fresh gpusecmem.Context (singleflight memo) wired to the
+// daemon's shared result cache — an in-process LRU over the optional
+// on-disk store — and a per-request context that cancels the
+// simulation cooperatively on client disconnect, timeout, or
+// shutdown.
+//
+// Routes:
+//
+//	GET /api/catalogue             benchmarks, schemes, experiments, formats
+//	GET /api/run                   one (scheme, benchmark) simulation as JSON
+//	GET /api/experiment/{id}       a paper table/figure, rendered text|csv|md
+//	GET /healthz                   liveness + counters
+//	GET /progress, /debug/...      the sweep debug layer (expvar, pprof)
+//
+// Admission is bounded: at most Workers simulations run concurrently
+// and at most QueueDepth more wait; beyond that requests are rejected
+// immediately with 429 and a Retry-After hint, so a burst degrades to
+// fast failures instead of unbounded goroutine pile-up.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpusecmem"
+	"gpusecmem/internal/report"
+	"gpusecmem/internal/runner"
+)
+
+// Config controls a daemon Server.
+type Config struct {
+	// Workers is the number of simulations allowed to run concurrently
+	// (<=0 means GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the ones running (<0 means 2*Workers). Requests beyond
+	// Workers+QueueDepth get 429.
+	QueueDepth int
+	// RequestTimeout bounds one request's simulation work (default
+	// 2m). The simulation aborts cooperatively at the deadline and the
+	// request fails with 504.
+	RequestTimeout time.Duration
+	// Cache is the persistent result store shared by all requests
+	// (nil: in-memory LRU only).
+	Cache gpusecmem.ResultCache
+	// MemCacheEntries caps the in-process result LRU (default 256;
+	// negative disables it).
+	MemCacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MemCacheEntries == 0 {
+		c.MemCacheEntries = 256
+	}
+	return c
+}
+
+// metrics is the daemon's counter set, published as the
+// gpusecmem_daemon expvar so the existing /debug/vars route exposes
+// it.
+type metrics struct {
+	requests  atomic.Uint64 // requests admitted to a simulation slot
+	rejected  atomic.Uint64 // 429s from a full admission queue
+	failed    atomic.Uint64 // simulation or render failures
+	cancelled atomic.Uint64 // client disconnects / timeouts / shutdown
+	memHits   atomic.Uint64
+	diskHits  atomic.Uint64
+	simulated atomic.Uint64
+	running   atomic.Int64
+	queued    atomic.Int64
+}
+
+// metricsSnapshot is the JSON view served by /healthz and expvar.
+type metricsSnapshot struct {
+	Requests  uint64 `json:"requests"`
+	Rejected  uint64 `json:"rejected"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	MemHits   uint64 `json:"mem_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Simulated uint64 `json:"simulated"`
+	Running   int64  `json:"running"`
+	Queued    int64  `json:"queued"`
+}
+
+func (m *metrics) snapshot() metricsSnapshot {
+	return metricsSnapshot{
+		Requests:  m.requests.Load(),
+		Rejected:  m.rejected.Load(),
+		Failed:    m.failed.Load(),
+		Cancelled: m.cancelled.Load(),
+		MemHits:   m.memHits.Load(),
+		DiskHits:  m.diskHits.Load(),
+		Simulated: m.simulated.Load(),
+		Running:   m.running.Load(),
+		Queued:    m.queued.Load(),
+	}
+}
+
+// Server is the secmemd request handler plus its shared state. Create
+// with New, mount Handler on an http.Server, and call Abort during
+// shutdown if draining exceeds its budget.
+type Server struct {
+	cfg       Config
+	mem       *memCache
+	admission chan struct{} // Workers+QueueDepth slots: full => 429
+	workers   chan struct{} // Workers slots: queued requests block here
+	met       metrics
+	start     time.Time
+	mux       *http.ServeMux
+
+	base   context.Context // cancelled by Abort to kill in-flight sims
+	cancel context.CancelFunc
+}
+
+var publishOnce sync.Once
+
+// New builds a Server. The daemon publishes its counters under the
+// gpusecmem_daemon expvar (alongside the runner's gpusecmem_sweep).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		mem:       newMemCache(cfg.MemCacheEntries),
+		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers:   make(chan struct{}, cfg.Workers),
+		start:     time.Now(),
+	}
+	s.base, s.cancel = context.WithCancel(context.Background())
+
+	publishOnce.Do(func() {
+		expvar.Publish("gpusecmem_daemon", expvar.Func(func() any {
+			return activeServer.Load().snapshotOrNil()
+		}))
+	})
+	activeServer.Store(s)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/catalogue", s.handleCatalogue)
+	mux.HandleFunc("GET /api/run", s.handleRun)
+	mux.HandleFunc("GET /api/experiment/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The existing sweep debug layer: /progress, /debug/vars (which
+	// now includes gpusecmem_daemon), /debug/pprof/*.
+	dbg := runner.NewDebugHandler()
+	mux.Handle("/progress", dbg)
+	mux.Handle("/debug/", dbg)
+	s.mux = mux
+	return s
+}
+
+// activeServer lets the process-wide expvar reach the most recent
+// Server without republishing (expvar.Publish panics on duplicates).
+var activeServer atomic.Pointer[Server]
+
+func (s *Server) snapshotOrNil() any {
+	if s == nil {
+		return nil
+	}
+	return s.met.snapshot()
+}
+
+// Handler returns the daemon's route mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Abort cancels every in-flight simulation. Call it when a graceful
+// drain exceeds its budget: blocked handlers fail fast and the
+// http.Server shutdown completes.
+func (s *Server) Abort() { s.cancel() }
+
+// httpError is the uniform JSON error payload.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
+}
+
+// admit claims a simulation slot, or answers the request itself (429
+// on a full queue, 503 after Abort) and reports ok=false. On ok the
+// caller runs with release deferred and a context that dies with the
+// client, the timeout, or the daemon.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
+	// Post-Abort the select below could still win a free worker slot;
+	// refuse deterministically instead.
+	if s.base.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "daemon shutting down")
+		return nil, nil, false
+	}
+	select {
+	case s.admission <- struct{}{}:
+	default:
+		s.met.rejected.Add(1)
+		// The queue is sized in requests, not time; a one-second retry
+		// hint is honest for simulations that run for seconds.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "admission queue full (%d running + %d queued)",
+			s.cfg.Workers, s.cfg.QueueDepth)
+		return nil, nil, false
+	}
+	s.met.queued.Add(1)
+
+	// Queued: wait for one of the Workers run slots.
+	select {
+	case s.workers <- struct{}{}:
+	case <-r.Context().Done():
+		s.met.queued.Add(-1)
+		<-s.admission
+		s.met.cancelled.Add(1)
+		httpError(w, statusClientClosedRequest, "request cancelled while queued")
+		return nil, nil, false
+	case <-s.base.Done():
+		s.met.queued.Add(-1)
+		<-s.admission
+		httpError(w, http.StatusServiceUnavailable, "daemon shutting down")
+		return nil, nil, false
+	}
+	s.met.queued.Add(-1)
+	s.met.running.Add(1)
+	s.met.requests.Add(1)
+
+	ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+	stop := context.AfterFunc(r.Context(), cancel)
+	release = func() {
+		stop()
+		cancel()
+		s.met.running.Add(-1)
+		<-s.workers
+		<-s.admission
+	}
+	return ctx, release, true
+}
+
+// statusClientClosedRequest is nginx's 499: the client went away
+// before we could answer. Nothing standard fits better.
+const statusClientClosedRequest = 499
+
+// failStatus maps a simulation error to an HTTP status and counts it.
+func (s *Server) failStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.cancelled.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.met.cancelled.Add(1)
+		if s.base.Err() != nil {
+			return http.StatusServiceUnavailable
+		}
+		return statusClientClosedRequest
+	default:
+		s.met.failed.Add(1)
+		return http.StatusInternalServerError
+	}
+}
+
+// --- catalogue ---
+
+type catalogueExperiment struct {
+	ID           string `json:"id"`
+	Title        string `json:"title"`
+	PaperFinding string `json:"paper_finding"`
+}
+
+func (s *Server) handleCatalogue(w http.ResponseWriter, r *http.Request) {
+	exps := gpusecmem.Experiments()
+	ces := make([]catalogueExperiment, 0, len(exps))
+	for _, e := range exps {
+		ces = append(ces, catalogueExperiment{ID: e.ID, Title: e.Title, PaperFinding: e.PaperFinding})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"benchmarks":  gpusecmem.Benchmarks(),
+		"schemes":     gpusecmem.SchemeNames(),
+		"experiments": ces,
+		"formats":     []string{"text", "csv", "md"},
+	})
+}
+
+// --- ad-hoc runs ---
+
+// runResponse is the /api/run payload. Source records where the
+// result came from — "memory", "disk", or "simulated" — so callers
+// (and the CI smoke test) can assert cache behaviour.
+type runResponse struct {
+	Benchmark string          `json:"benchmark"`
+	Scheme    string          `json:"scheme"`
+	Key       string          `json:"key"`
+	Source    string          `json:"source"`
+	WallMS    float64         `json:"wall_ms"`
+	Result    json.RawMessage `json:"result"`
+}
+
+// parseRunConfig resolves the /api/run query into a validated Config.
+// It accepts the same knobs as the secmemsim CLI.
+func parseRunConfig(q url.Values) (cfg gpusecmem.Config, scheme, bench string, err error) {
+	get := func(key, def string) string {
+		if v := q.Get(key); v != "" {
+			return v
+		}
+		return def
+	}
+	scheme = get("scheme", "ctr_mac_bmt")
+	bench = get("bench", "fdtd2d")
+	cfg, err = gpusecmem.ConfigForScheme(scheme)
+	if err != nil {
+		return cfg, scheme, bench, err
+	}
+	intArg := func(key string, def int) int {
+		if err != nil {
+			return def
+		}
+		v := get(key, "")
+		if v == "" {
+			return def
+		}
+		n, perr := strconv.Atoi(v)
+		if perr != nil {
+			err = fmt.Errorf("bad %s: %v", key, perr)
+			return def
+		}
+		return n
+	}
+	cycles := get("cycles", "24000")
+	if cfg.MaxCycles, err = strconv.ParseUint(cycles, 10, 64); err != nil {
+		return cfg, scheme, bench, fmt.Errorf("bad cycles: %v", err)
+	}
+	if cfg.Secure.Encryption != gpusecmem.EncNone {
+		cfg.Secure.AESLatency = intArg("aes-latency", cfg.Secure.AESLatency)
+		cfg.Secure.AESEngines = intArg("aes-engines", cfg.Secure.AESEngines)
+		if kb := intArg("meta-kb", 0); kb > 0 {
+			cfg.Secure.MetaCacheBytes = kb * 1024
+		}
+		cfg.Secure.MetaMSHRs = intArg("mshrs", cfg.Secure.MetaMSHRs)
+		if v := q.Get("unified"); v != "" {
+			cfg.Secure.Unified = v == "true" || v == "1"
+		}
+	}
+	if err != nil {
+		return cfg, scheme, bench, err
+	}
+	if q.Get("audit") == "true" || q.Get("audit") == "1" {
+		cfg.Audit = true
+	}
+	return cfg, scheme, bench, cfg.Validate()
+}
+
+func validBenchmark(name string) bool {
+	for _, b := range gpusecmem.Benchmarks() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	cfg, scheme, bench, err := parseRunConfig(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !validBenchmark(bench) {
+		httpError(w, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", bench)
+		return
+	}
+
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// A fresh Context per request keeps cancellation private to this
+	// request; cross-request reuse comes from the shared cache view,
+	// which also attributes the result's source exactly.
+	view := s.newView()
+	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles})
+	gctx.SetResultCache(view)
+
+	t0 := time.Now()
+	res, err := gctx.RunE(ctx, cfg, bench)
+	if err != nil {
+		httpError(w, s.failStatus(err), "%v", err)
+		return
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	view.count(&s.met)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(runResponse{
+		Benchmark: bench,
+		Scheme:    scheme,
+		Key:       runner.KeyDigest(gpusecmem.RunKey(cfg, bench)),
+		Source:    view.source(),
+		WallMS:    float64(time.Since(t0).Microseconds()) / 1000,
+		Result:    body,
+	})
+}
+
+// --- experiment tables ---
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := gpusecmem.ExperimentByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown experiment %q (see /api/catalogue)", id)
+		return
+	}
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "text"
+	}
+	if !report.ValidFormat(format) {
+		httpError(w, http.StatusBadRequest, "unknown format %q (text|csv|md)", format)
+		return
+	}
+	opts := gpusecmem.Options{Audit: q.Get("audit") == "true" || q.Get("audit") == "1"}
+	if v := q.Get("cycles"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			httpError(w, http.StatusBadRequest, "bad cycles %q", v)
+			return
+		}
+		opts.Cycles = n
+	}
+	if v := q.Get("benchmarks"); v != "" {
+		for _, b := range strings.Split(v, ",") {
+			if !validBenchmark(b) {
+				httpError(w, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", b)
+				return
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+
+	ctx, release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	view := s.newView()
+	gctx := gpusecmem.NewContext(opts)
+	gctx.SetResultCache(view)
+
+	// The runner gives us planning, panic recovery, and render-order
+	// determinism for free; one job keeps this request to its one
+	// admission slot.
+	rep := runner.Run(ctx, gctx, []gpusecmem.Experiment{e}, runner.Options{Jobs: 1})
+	if rep.Aborted {
+		httpError(w, s.failStatus(ctx.Err()), "experiment aborted: %v", ctx.Err())
+		return
+	}
+	res := rep.Results[0]
+	if res.Err != nil {
+		httpError(w, s.failStatus(res.Err), "experiment %s: %v", id, res.Err)
+		return
+	}
+	view.count(&s.met)
+
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Header().Set("X-Run-Source", view.source())
+	fmt.Fprintf(w, "# %s\n# paper: %s\n", e.Title, e.PaperFinding)
+	for _, t := range res.Tables {
+		if err := t.Write(w, format); err != nil {
+			return // headers are out; nothing better to do
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- health ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.cfg.Workers,
+		"queue_depth":    s.cfg.QueueDepth,
+		"metrics":        s.met.snapshot(),
+		"mem_cache_len":  s.mem.len(),
+	})
+}

@@ -1,0 +1,155 @@
+// Package resultcache is the content-addressed on-disk result store
+// layered under the in-memory singleflight memo (it implements
+// gpusecmem.ResultCache). Entries are keyed by the sha256 of the
+// canonical RunKey — the deterministic JSON of the fully resolved
+// Config plus the benchmark name — so any configuration change,
+// however small, addresses a different entry, and repeated requests
+// across process restarts are served from disk bit-identically.
+//
+// Entries are gob-encoded sim.Result values wrapped in a schema/key
+// envelope and written via atomicfile (temp + rename), so a crashed or
+// cancelled writer never leaves a truncated entry; a corrupt or
+// foreign file reads as a miss and is removed. Only successful runs
+// are stored — errors stay in the in-memory memo where retry policy
+// lives. The retained Chrome-trace span records of a probed run are
+// not persisted (they are unexported scratch for trace export, which
+// never reads from this cache); everything an experiment table or the
+// JSON wire form renders survives the round trip.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"gpusecmem/internal/atomicfile"
+	"gpusecmem/internal/sim"
+)
+
+// Schema versions the on-disk entry format; bump it when the encoding
+// changes and old entries become unreadable (they then read as misses
+// and are replaced on the next Put).
+const Schema = "gpusecmem-resultcache/1"
+
+// entry is the on-disk envelope: the full canonical key is stored so a
+// digest collision (or a hand-copied file) can never serve the wrong
+// result.
+type entry struct {
+	Schema string
+	Key    string
+	Result *sim.Result
+}
+
+// Stats counts cache behaviour since Open.
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	// Errors counts unreadable/corrupt entries and failed writes; the
+	// cache degrades to miss/no-op rather than failing a run.
+	Errors uint64 `json:"errors"`
+}
+
+// Cache is a persistent result store rooted at one directory. Safe
+// for concurrent use by any number of goroutines and processes: reads
+// open complete files, writes rename complete files into place.
+type Cache struct {
+	dir string
+
+	hits, misses, puts, errs atomic.Uint64
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path fans entries out over 256 two-hex-digit subdirectories so huge
+// sweeps do not pile every entry into one directory.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	digest := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, digest[:2], digest+".gob")
+}
+
+// Get returns the stored result for key, or (nil, false). A corrupt,
+// truncated, or mismatched entry is removed and reported as a miss.
+func (c *Cache) Get(key string) (*sim.Result, bool) {
+	path := c.path(key)
+	f, err := os.Open(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	defer f.Close()
+	var e entry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
+		e.Schema != Schema || e.Key != key || e.Result == nil {
+		// Unreadable or foreign: self-heal by dropping the file so the
+		// next Put rewrites it.
+		os.Remove(path)
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Result, true
+}
+
+// Put stores res under key, atomically. Best-effort: a failed write
+// is counted and swallowed — the cache must never fail the run that
+// produced the result.
+func (c *Cache) Put(key string, res *sim.Result) {
+	if res == nil {
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.errs.Add(1)
+		return
+	}
+	err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(entry{Schema: Schema, Key: key, Result: res})
+	})
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	c.puts.Add(1)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+	}
+}
+
+// Len walks the cache and counts stored entries (diagnostics only).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".gob" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,136 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpusecmem/internal/sim"
+)
+
+func simulate(t *testing.T, cycles uint64) *sim.Result {
+	t.Helper()
+	cfg := sim.SecureMem()
+	cfg.MaxCycles = cycles
+	res, err := sim.Run(cfg, "nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The disk cache must alter no output bit: a round-tripped Result's
+// canonical JSON (the golden-digest form) is byte-identical to the
+// fresh simulation's.
+func TestRoundTripByteIdentical(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 2000)
+	const key = "cfg-json|nw"
+	c.Put(key, res)
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(have) {
+		t.Fatalf("round trip changed canonical JSON:\nwant %s\nhave %s", want, have)
+	}
+	st := c.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMissOnUnknownKey(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("never stored"); ok {
+		t.Fatal("hit on unknown key")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// A truncated entry — the artifact a crashed writer without
+// atomicfile would leave — must read as a miss and be removed.
+func TestCorruptEntrySelfHeals(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 1000)
+	const key = "corrupt|nw"
+	c.Put(key, res)
+	path := c.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on truncated entry")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not removed (stat err %v)", err)
+	}
+	// A re-Put repairs the slot.
+	c.Put(key, res)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("miss after repair Put")
+	}
+}
+
+// An entry whose stored canonical key differs from the requested one
+// (digest collision, copied file) must never be served.
+func TestKeyMismatchIsMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 1000)
+	c.Put("key-a", res)
+	// Graft key-a's entry into key-b's slot.
+	if err := os.MkdirAll(filepath.Dir(c.path("key-b")), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(c.path("key-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path("key-b"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("key-b"); ok {
+		t.Fatal("served an entry stored under a different key")
+	}
+}
+
+func TestLenCountsEntries(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 1000)
+	c.Put("a", res)
+	c.Put("b", res)
+	c.Put("a", res) // overwrite, not a new entry
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}

@@ -8,6 +8,7 @@ package runner
 // singleflight path shows up at every width.
 
 import (
+	"context"
 	"testing"
 
 	"gpusecmem"
@@ -29,7 +30,7 @@ func benchSweep(b *testing.B, jobs int) {
 	for i := 0; i < b.N; i++ {
 		// Fresh context per iteration: the cost being measured is the
 		// cold sweep, not memo hits.
-		rep := Run(gpusecmem.NewContext(opts), exps, Options{Jobs: jobs})
+		rep := Run(context.Background(), gpusecmem.NewContext(opts), exps, Options{Jobs: jobs})
 		if rep.FailedExperiments() != 0 {
 			b.Fatal("sweep failed")
 		}

@@ -13,9 +13,11 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -50,7 +52,8 @@ type ExperimentResult struct {
 	Experiment gpusecmem.Experiment
 	Tables     []*report.Table
 	// Err is non-nil when a simulation the experiment depends on
-	// failed; it is the *gpusecmem.RunError of the failing run.
+	// failed; it is the *gpusecmem.RunError of the failing run, or a
+	// bare context error when the sweep was cancelled mid-render.
 	Err     error
 	Elapsed time.Duration
 }
@@ -79,7 +82,14 @@ type Report struct {
 	FailedRuns   int
 	CacheHits    uint64
 	CacheMisses  uint64
-	Wall         time.Duration
+	// DiskHits counts runs served from the Context's persistent
+	// ResultCache instead of simulating.
+	DiskHits uint64
+	Wall     time.Duration
+	// Aborted reports that the sweep's context was cancelled before the
+	// plan finished: Runs holds only the runs completed by then and no
+	// experiments were rendered.
+	Aborted bool
 }
 
 // FailedExperiments counts results with a non-nil Err.
@@ -116,12 +126,14 @@ func (r *Report) AggregateCyclesPerSec() float64 {
 // statsJSON is the wire form of WriteStats.
 type statsJSON struct {
 	Command           string      `json:"command,omitempty"`
+	Aborted           bool        `json:"aborted"`
 	Jobs              int         `json:"jobs"`
 	PlannedRuns       int         `json:"planned_runs"`
 	ExecutedRuns      int         `json:"executed_runs"`
 	FailedRuns        int         `json:"failed_runs"`
 	CacheHits         uint64      `json:"cache_hits"`
 	CacheMisses       uint64      `json:"cache_misses"`
+	DiskHits          uint64      `json:"disk_hits,omitempty"`
 	WallSeconds       float64     `json:"wall_seconds"`
 	TotalCycles       uint64      `json:"total_cycles"`
 	AggCyclesPerSec   float64     `json:"aggregate_cycles_per_sec"`
@@ -130,23 +142,31 @@ type statsJSON struct {
 }
 
 // WriteStats emits the machine-readable sweep summary (the -stats-out
-// payload). command records the invocation for provenance.
+// payload). command records the invocation for provenance. A partial
+// report from a cancelled sweep carries "aborted": true with the runs
+// completed before the cancellation.
 func (r *Report) WriteStats(w io.Writer, command string) error {
+	runs := r.Runs
+	if runs == nil {
+		runs = []RunRecord{} // "runs": [] — not null — when nothing completed
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(statsJSON{
 		Command:           command,
+		Aborted:           r.Aborted,
 		Jobs:              r.Jobs,
 		PlannedRuns:       r.PlannedRuns,
 		ExecutedRuns:      r.ExecutedRuns,
 		FailedRuns:        r.FailedRuns,
 		CacheHits:         r.CacheHits,
 		CacheMisses:       r.CacheMisses,
+		DiskHits:          r.DiskHits,
 		WallSeconds:       r.Wall.Seconds(),
 		TotalCycles:       r.TotalCycles(),
 		AggCyclesPerSec:   r.AggregateCyclesPerSec(),
 		FailedExperiments: r.FailedExperiments(),
-		Runs:              r.Runs,
+		Runs:              runs,
 	})
 }
 
@@ -159,14 +179,21 @@ func KeyDigest(key string) string {
 // Run plans, executes, and renders the experiments. Rendering happens
 // after the pool drains, in the order given, entirely from memoized
 // results — output bytes do not depend on Jobs.
-func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Report {
+//
+// ctx cancels the sweep cooperatively: dispatch stops, in-flight
+// simulations abort at their next cancellation check, the pool drains,
+// and the returned Report is marked Aborted with the runs completed so
+// far (experiments are not rendered). The Report is always non-nil, so
+// a partial stats file can still be flushed.
+func Run(ctx context.Context, gctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Report {
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	gctx.SetBaseContext(ctx)
 
-	plan := ctx.PlanRuns(exps)
+	plan := gctx.PlanRuns(exps)
 	rep := &Report{Jobs: jobs, PlannedRuns: len(plan)}
 
 	var done, failed atomic.Int64
@@ -175,7 +202,13 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 		if out == nil {
 			out = os.Stderr
 		}
-		activeSweep.Store(&sweepState{jobs: jobs, planned: len(plan), done: &done, failed: &failed, start: start})
+		state := &sweepState{jobs: jobs, planned: len(plan), done: &done, failed: &failed, start: start}
+		activeSweep.Store(state)
+		// Clear the live-progress state once this sweep returns so a
+		// long-lived process (library use, secmemd) does not keep
+		// reporting a finished sweep; the CAS leaves a newer overlapping
+		// sweep's state alone.
+		defer activeSweep.CompareAndSwap(state, nil)
 		stopDebug := startDebugServer(opts.DebugAddr, out)
 		defer stopDebug()
 	}
@@ -188,33 +221,47 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 		go func() {
 			defer wg.Done()
 			for s := range specs {
-				if _, err := ctx.RunE(s.Cfg, s.Benchmark); err != nil {
-					failed.Add(1)
+				if _, err := gctx.RunE(ctx, s.Cfg, s.Benchmark); err != nil {
+					// A cancelled run is the sweep aborting, not a
+					// failed configuration.
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						failed.Add(1)
+					}
 				}
 				done.Add(1)
 			}
 		}()
 	}
+dispatch:
 	for _, s := range plan {
-		specs <- s
+		select {
+		case specs <- s:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(specs)
 	wg.Wait()
 	stopProgress()
 
-	// Render serially, in catalogue order, from the warm cache. Runs
-	// the planner missed (an experiment that bailed on placeholder
-	// data) simulate here through the same singleflight path.
-	for _, e := range exps {
-		rep.Results = append(rep.Results, renderOne(ctx, e))
+	if ctx.Err() != nil {
+		rep.Aborted = true
+	} else {
+		// Render serially, in catalogue order, from the warm cache.
+		// Runs the planner missed (an experiment that bailed on
+		// placeholder data) simulate here through the same singleflight
+		// path.
+		for _, e := range exps {
+			rep.Results = append(rep.Results, renderOne(gctx, e))
+		}
 	}
 
-	stats := ctx.CacheStats()
-	rep.CacheHits, rep.CacheMisses = stats.Hits, stats.Misses
+	stats := gctx.CacheStats()
+	rep.CacheHits, rep.CacheMisses, rep.DiskHits = stats.Hits, stats.Misses, stats.DiskHits
 	rep.Wall = time.Since(start)
 
 	byKey := make(map[string]gpusecmem.RunStat)
-	for _, s := range ctx.RunStats() {
+	for _, s := range gctx.RunStats() {
 		byKey[s.Key] = s
 		rep.ExecutedRuns++
 		if s.Err != nil {
@@ -246,7 +293,7 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 	}
 	// Runs discovered only at render time still get a record, after
 	// the planned ones.
-	for _, s := range ctx.RunStats() {
+	for _, s := range gctx.RunStats() {
 		if _, pending := byKey[s.Key]; !pending {
 			continue
 		}
@@ -269,10 +316,11 @@ func Run(ctx *gpusecmem.Context, exps []gpusecmem.Experiment, opts Options) *Rep
 // renderOne runs one experiment body against the memoized context,
 // converting any recovered panic into the result's Err so the sweep
 // continues. A *RunError (a failed simulation) passes through with
-// its config; any other panic — a bug in the experiment body — is
-// wrapped, with its stack, instead of re-panicking and killing the
-// remaining experiments.
-func renderOne(ctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentResult) {
+// its config; a context cancellation (the base context died while
+// rendering) passes through undecorated; any other panic — a bug in
+// the experiment body — is wrapped, with its stack, instead of
+// re-panicking and killing the remaining experiments.
+func renderOne(gctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentResult) {
 	out.Experiment = e
 	t0 := time.Now()
 	defer func() {
@@ -282,6 +330,11 @@ func renderOne(ctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentRe
 				out.Err = re
 				return
 			}
+			if err, ok := r.(error); ok &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				out.Err = err
+				return
+			}
 			out.Err = &gpusecmem.RunError{
 				Benchmark: "(experiment " + e.ID + ")",
 				Err:       fmt.Errorf("experiment panic: %v", r),
@@ -289,7 +342,7 @@ func renderOne(ctx *gpusecmem.Context, e gpusecmem.Experiment) (out ExperimentRe
 			}
 		}
 	}()
-	out.Tables = e.Run(ctx)
+	out.Tables = e.Run(gctx)
 	return out
 }
 

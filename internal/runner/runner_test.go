@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func experiments(t *testing.T, ids ...string) []gpusecmem.Experiment {
 func sweep(t *testing.T, opts gpusecmem.Options, jobs int, ids ...string) (*Report, []byte) {
 	t.Helper()
 	ctx := gpusecmem.NewContext(opts)
-	rep := Run(ctx, experiments(t, ids...), Options{Jobs: jobs})
+	rep := Run(context.Background(), ctx, experiments(t, ids...), Options{Jobs: jobs})
 	return rep, renderReport(t, rep)
 }
 
@@ -107,7 +108,7 @@ func TestFullCatalogueDeterminism(t *testing.T) {
 func TestFailedRunContinuesSweep(t *testing.T) {
 	opts := gpusecmem.Options{Cycles: 800, Benchmarks: []string{"nw", "definitely-not-a-benchmark"}}
 	ctx := gpusecmem.NewContext(opts)
-	rep := Run(ctx, experiments(t, "table1", "fig8", "table7", "fig16"), Options{Jobs: 4})
+	rep := Run(context.Background(), ctx, experiments(t, "table1", "fig8", "table7", "fig16"), Options{Jobs: 4})
 
 	byID := map[string]ExperimentResult{}
 	for _, res := range rep.Results {
@@ -143,7 +144,7 @@ func TestFailedRunContinuesSweep(t *testing.T) {
 func TestStatsOutput(t *testing.T) {
 	opts := gpusecmem.Options{Cycles: 800, Benchmarks: []string{"nw"}}
 	ctx := gpusecmem.NewContext(opts)
-	rep := Run(ctx, experiments(t, "fig8"), Options{Jobs: 2})
+	rep := Run(context.Background(), ctx, experiments(t, "fig8"), Options{Jobs: 2})
 
 	if len(rep.Runs) != rep.ExecutedRuns || len(rep.Runs) == 0 {
 		t.Fatalf("%d run records for %d executed runs", len(rep.Runs), rep.ExecutedRuns)
@@ -184,7 +185,7 @@ func TestStatsOutput(t *testing.T) {
 func TestProgressTicker(t *testing.T) {
 	var buf bytes.Buffer
 	ctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: 800, Benchmarks: []string{"nw"}})
-	Run(ctx, experiments(t, "fig8"), Options{
+	Run(context.Background(), ctx, experiments(t, "fig8"), Options{
 		Jobs:             2,
 		Progress:         true,
 		ProgressOut:      &buf,

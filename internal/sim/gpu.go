@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"gpusecmem/internal/cache"
@@ -394,11 +395,37 @@ func (g *GPU) fastForward() {
 // returns a *StallError when the watchdog detects a forward-progress
 // stall and an *AuditError when an enabled invariant auditor finds the
 // machine's books out of balance; both carry diagnostic state.
-func (g *GPU) Run() (*Result, error) {
+func (g *GPU) Run() (*Result, error) { return g.RunContext(context.Background()) }
+
+// cancelCheckMask gates the cooperative cancellation poll: the loop
+// consults ctx only once every cancelCheckMask+1 executed steps, so
+// the hot path of an uncancellable run (ctx.Done() == nil) stays a
+// single nil comparison and a cancellable one adds a masked counter
+// test. At simulator speeds (millions of steps per second) this still
+// bounds the reaction latency to well under a millisecond.
+const cancelCheckMask = 0x3ff
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled the simulation stops at the next check boundary and
+// returns (nil, ctx.Err()) — never a partial Result. Cancellation is
+// polled between steps (on the same boundary the watchdog and
+// fast-forward logic run), so a run that is never cancelled produces
+// bit-identical results to Run.
+func (g *GPU) RunContext(ctx context.Context) (*Result, error) {
 	// Per-cycle auditing wants every cycle stepped; per-component
 	// skipping inside step stays on (it is state-identical, so the
 	// auditors see the same books).
 	ff := !g.disableFF && !g.cfg.Audit
+	done := ctx.Done()
+	if done != nil {
+		// An already-dead context never simulates, however short the
+		// run — the loop's masked poll may not fire on one this small.
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+	}
 	for g.now < g.cfg.MaxCycles {
 		g.step()
 		if g.cfg.Audit {
@@ -408,6 +435,13 @@ func (g *GPU) Run() (*Result, error) {
 		}
 		if err := g.checkWatchdog(); err != nil {
 			return nil, err
+		}
+		if done != nil && g.stepped&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
 		}
 		if ff {
 			g.fastForward()
@@ -490,6 +524,12 @@ func addStats(dst *cache.Stats, src cache.Stats) {
 // Run is the package-level convenience: build a GPU for cfg and the
 // named benchmark and simulate it.
 func Run(cfg Config, benchmark string) (*Result, error) {
+	return RunContext(context.Background(), cfg, benchmark)
+}
+
+// RunContext is Run with cooperative cancellation (see
+// GPU.RunContext).
+func RunContext(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
 	gen, err := trace.New(benchmark)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -498,5 +538,5 @@ func Run(cfg Config, benchmark string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	return g.Run()
+	return g.RunContext(ctx)
 }
