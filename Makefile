@@ -3,13 +3,18 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race race-full smoke bench gobench results audit fuzz daemon
+.PHONY: verify vet doc-lint build test race race-full smoke bench gobench results audit fuzz daemon
 
-## verify: vet + build + full test suite + CLI smoke run (tier-1 gate)
-verify: vet build test smoke
+## verify: vet + doc-lint + build + full test suite + CLI smoke run (tier-1 gate)
+verify: vet doc-lint build test smoke
 
 vet:
 	$(GO) vet ./...
+
+## doc-lint: every package documented; concurrency-sensitive packages
+## must state their concurrency/aliasing contract (see cmd/doclint)
+doc-lint:
+	$(GO) run ./cmd/doclint
 
 build:
 	$(GO) build ./...
@@ -36,10 +41,11 @@ smoke:
 	$(GO) run ./cmd/experiments -exp table1
 
 ## bench: tracked simulator-throughput baseline — measures cycles/sec
-## and steady-state allocations on a fixed scheme x benchmark grid and
-## writes BENCH_PR4.json (compare against a saved run with -baseline).
+## and steady-state allocations on a fixed scheme x benchmark grid
+## (including sharded @s4 points on the parallel partition engine) and
+## writes BENCH_PR6.json with the PR4 reference embedded.
 bench:
-	$(GO) run ./cmd/perfbench -out BENCH_PR4.json
+	$(GO) run ./cmd/perfbench -baseline BENCH_PR4.json -out BENCH_PR6.json
 
 ## gobench: package micro-benchmarks via go test
 gobench:

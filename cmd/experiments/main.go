@@ -11,9 +11,10 @@
 //	experiments -exp all -stats-out runs.json    # machine-readable run stats
 //	experiments -exp all -cache-dir ~/.cache/gpusecmem   # persistent results
 //
-// Runs execute on a worker pool (default GOMAXPROCS workers) and are
-// memoized with singleflight semantics, so shared configurations
-// simulate exactly once. With -cache-dir, results also persist on disk
+// Runs execute on a worker pool (default GOMAXPROCS workers, divided
+// by -shards when intra-run sharding is on) and are memoized with
+// singleflight semantics, so shared configurations simulate exactly
+// once. With -cache-dir, results also persist on disk
 // keyed by their canonical configuration digest, so repeated sweeps
 // across process restarts skip simulation entirely. Output is rendered
 // in catalogue order from the memoized results and is byte-identical
@@ -71,7 +72,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text|csv|md")
 		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
-		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		jobs       = flag.Int("jobs", 0, "parallel simulation workers (0 = GOMAXPROCS/shards)")
+		shards     = flag.Int("shards", 0, "shard goroutines per simulation (parallel partition engine; 0/1 = sequential, results bit-identical)")
 		progress   = flag.Bool("progress", false, "print a periodic progress line to stderr")
 		statsOut   = flag.String("stats-out", "", "write machine-readable per-run stats (JSON) to this file")
 		audit      = flag.Bool("audit", false, "run every simulation with invariant auditors enabled (changes memo keys; slower)")
@@ -91,7 +93,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := gpusecmem.Options{Cycles: *cycles, Audit: *audit}
+	opts := gpusecmem.Options{Cycles: *cycles, Audit: *audit, Shards: *shards}
 	if *benchmarks != "" {
 		opts.Benchmarks = strings.Split(*benchmarks, ",")
 	}
@@ -132,6 +134,7 @@ func main() {
 
 	rep := runner.Run(ctx, gctx, selected, runner.Options{
 		Jobs:      *jobs,
+		Shards:    *shards,
 		Progress:  *progress,
 		DebugAddr: *debugAddr,
 	})

@@ -14,9 +14,9 @@
 //
 // Usage:
 //
-//	perfbench -out BENCH_PR4.json                  # full measurement
+//	perfbench -out BENCH_PR6.json                  # full measurement
 //	perfbench -quick -out /tmp/bench.json          # CI smoke (short)
-//	perfbench -baseline old.json -out BENCH_PR4.json  # embed reference + speedups
+//	perfbench -baseline BENCH_PR4.json -out BENCH_PR6.json  # embed reference + speedups
 //
 // Comparing two files: run perfbench on the old tree with -out
 // old.json, then on the new tree with `-baseline old.json`; the output
@@ -34,17 +34,24 @@ import (
 	"gpusecmem"
 )
 
-// benchCase is one tracked configuration point.
+// benchCase is one tracked configuration point. Shards > 1 runs the
+// point on the parallel partition engine (bit-identical results; the
+// "@sN" name suffix marks sharded points).
 type benchCase struct {
 	Name      string
 	Scheme    string
 	Benchmark string
+	Shards    int
 }
 
 // cases span the perf envelope: the insecure baseline, the full secure
 // design on bandwidth-bound workloads (partition/DRAM dominated), a
 // compute-bound workload (SM/idle-skip dominated), and direct
-// encryption (AES path).
+// encryption (AES path). The @s4 points rerun the two bandwidth-bound
+// workloads on the parallel partition engine; comparing them to their
+// sequential twins (the shard_speedup map) measures intra-run scaling
+// on the measurement host — which requires GOMAXPROCS > 1 cores to
+// show a speedup.
 var cases = []benchCase{
 	{Name: "baseline/fdtd2d", Scheme: "baseline", Benchmark: "fdtd2d"},
 	{Name: "ctr_mac_bmt/fdtd2d", Scheme: "ctr_mac_bmt", Benchmark: "fdtd2d"},
@@ -52,13 +59,17 @@ var cases = []benchCase{
 	{Name: "ctr_mac_bmt/heartwall", Scheme: "ctr_mac_bmt", Benchmark: "heartwall"},
 	{Name: "ctr_bmt/streamcluster", Scheme: "ctr_bmt", Benchmark: "streamcluster"},
 	{Name: "direct_mac_mt/srad_v2", Scheme: "direct_mac_mt", Benchmark: "srad_v2"},
+	{Name: "ctr_mac_bmt/fdtd2d@s4", Scheme: "ctr_mac_bmt", Benchmark: "fdtd2d", Shards: 4},
+	{Name: "ctr_mac_bmt/lbm@s4", Scheme: "ctr_mac_bmt", Benchmark: "lbm", Shards: 4},
 }
 
 // RunResult is one case's measurements.
 type RunResult struct {
-	Name         string  `json:"name"`
-	Scheme       string  `json:"scheme"`
-	Benchmark    string  `json:"benchmark"`
+	Name      string `json:"name"`
+	Scheme    string `json:"scheme"`
+	Benchmark string `json:"benchmark"`
+	// Shards is the parallel-engine shard count (0 = sequential engine).
+	Shards       int     `json:"shards,omitempty"`
 	Cycles       uint64  `json:"cycles"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
@@ -75,6 +86,11 @@ type File struct {
 	Schema    string `json:"schema"`
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS is the measurement host's scheduler width. Sharded
+	// (@sN) points can only beat their sequential twins when it exceeds
+	// 1 — on a single-core host the parallel engine degrades to barrier
+	// bookkeeping overhead, and ShardSpeedup honestly records that.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Cycles is the per-op simulation length of the throughput runs.
 	Cycles uint64      `json:"cycles"`
 	Runs   []RunResult `json:"runs"`
@@ -83,6 +99,9 @@ type File struct {
 	// per-case cycles/sec ratio current/reference.
 	Baseline []RunResult        `json:"baseline,omitempty"`
 	Speedup  map[string]float64 `json:"speedup,omitempty"`
+	// ShardSpeedup compares each sharded point against its sequential
+	// twin within this same file: cycles/sec of "name@sN" over "name".
+	ShardSpeedup map[string]float64 `json:"shard_speedup,omitempty"`
 }
 
 func simulate(cfg gpusecmem.Config, bench string) {
@@ -101,6 +120,7 @@ func measure(c benchCase, cycles uint64) RunResult {
 		os.Exit(1)
 	}
 	cfg.MaxCycles = cycles
+	cfg.Shards = c.Shards
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -116,6 +136,7 @@ func measure(c benchCase, cycles uint64) RunResult {
 		Name:                  c.Name,
 		Scheme:                c.Scheme,
 		Benchmark:             c.Benchmark,
+		Shards:                c.Shards,
 		Cycles:                cycles,
 		NsPerOp:               ns,
 		AllocsPerOp:           br.AllocsPerOp(),
@@ -149,26 +170,35 @@ func allocSlope(short, long gpusecmem.Config, bench string) float64 {
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_PR4.json", "output JSON path (- for stdout)")
+		out      = flag.String("out", "BENCH_PR6.json", "output JSON path (- for stdout)")
 		baseline = flag.String("baseline", "", "reference perfbench JSON to embed and compare against")
 		cycles   = flag.Uint64("cycles", 4000, "simulated cycles per throughput op")
-		quick    = flag.Bool("quick", false, "CI smoke: first two cases only, short runs")
+		quick    = flag.Bool("quick", false, "CI smoke: three-case subset (incl. one sharded point), short runs")
 	)
 	flag.Parse()
 
 	sel := cases
 	if *quick {
-		sel = cases[:2]
+		// Smoke subset: one cheap sequential pair each way plus one
+		// sharded point, so CI exercises the parallel engine too.
+		sel = nil
+		for _, c := range cases {
+			switch c.Name {
+			case "baseline/fdtd2d", "ctr_mac_bmt/fdtd2d", "ctr_mac_bmt/fdtd2d@s4":
+				sel = append(sel, c)
+			}
+		}
 		if *cycles > 2000 {
 			*cycles = 2000
 		}
 	}
 
 	f := File{
-		Schema:    "gpusecmem-perfbench/v1",
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		Cycles:    *cycles,
+		Schema:     "gpusecmem-perfbench/v1",
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Cycles:     *cycles,
 	}
 	for _, c := range sel {
 		fmt.Fprintf(os.Stderr, "perfbench: %s ...\n", c.Name)
@@ -176,6 +206,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfbench: %-24s %12.0f cycles/sec  %8d allocs/op  %+.2f steady allocs/kcycle\n",
 			r.Name, r.CyclesPerSec, r.AllocsPerOp, r.SteadyAllocsPerKCycle)
 		f.Runs = append(f.Runs, r)
+	}
+
+	// Pair each sharded point with its sequential twin from this run.
+	seq := map[string]RunResult{}
+	for _, r := range f.Runs {
+		if r.Shards == 0 {
+			seq[r.Name] = r
+		}
+	}
+	for _, r := range f.Runs {
+		if r.Shards <= 1 {
+			continue
+		}
+		twin := r.Scheme + "/" + r.Benchmark
+		if b, ok := seq[twin]; ok && b.CyclesPerSec > 0 {
+			if f.ShardSpeedup == nil {
+				f.ShardSpeedup = map[string]float64{}
+			}
+			f.ShardSpeedup[r.Name] = r.CyclesPerSec / b.CyclesPerSec
+		}
 	}
 
 	if *baseline != "" {

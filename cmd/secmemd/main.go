@@ -40,6 +40,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request simulation budget")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
 		memCap   = flag.Int("mem-cache", 256, "in-process result LRU entries (negative disables)")
+		shards   = flag.Int("shards", 0, "shard goroutines per served simulation (parallel partition engine; 0/1 = sequential, results bit-identical)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		QueueDepth:      *queue,
 		RequestTimeout:  *timeout,
 		MemCacheEntries: *memCap,
+		Shards:          *shards,
 	}
 	if *cacheDir != "" {
 		disk, err := resultcache.Open(*cacheDir)

@@ -58,6 +58,7 @@ func main() {
 		faultSpec  = flag.String("faults", "", "fault-injection plan, e.g. seed=1,rate=1e-4,sites=data,meta,drop (empty = none)")
 		audit      = flag.Bool("audit", false, "run per-cycle invariant auditors")
 		watchdog   = flag.Uint64("watchdog", 0, "override watchdog stall threshold in cycles (0 = config default)")
+		shards     = flag.Int("shards", 0, "shard goroutines for the parallel partition engine (0/1 = sequential; results are bit-identical)")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 		list       = flag.Bool("list", false, "list benchmarks and schemes, then exit")
 		probeSpans = flag.Bool("probe", false, "collect request-lifecycle spans and print the latency attribution")
@@ -88,6 +89,7 @@ func main() {
 	}
 	cfg.MaxCycles = *cycles
 	cfg.Audit = *audit
+	cfg.Shards = *shards
 	if *watchdog > 0 {
 		cfg.WatchdogCycles = *watchdog
 	}
@@ -135,6 +137,7 @@ func main() {
 	// only there to normalize IPC.
 	base := gpusecmem.BaselineConfig()
 	base.MaxCycles = *cycles
+	base.Shards = *shards
 	bres, err := gpusecmem.Simulate(base, *bench)
 	if err != nil {
 		fail(err)

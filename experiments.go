@@ -35,6 +35,13 @@ type Options struct {
 	// are byte-identical — but audited and unaudited runs memoize under
 	// different keys because Audit is part of the Config.
 	Audit bool
+	// Shards > 1 runs each simulation on the parallel partition engine
+	// with that many shard goroutines (Config.Shards; see DESIGN.md
+	// "Parallel partition engine"). Results are bit-identical to the
+	// sequential engine and Shards is excluded from Config's JSON, so
+	// memo keys, disk-cache entries, and golden digests are shared
+	// across shard settings. 0 and 1 select the sequential engine.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -248,6 +255,9 @@ func (c *Context) RunE(ctx context.Context, cfg Config, benchmark string) (*Resu
 	cfg.MaxCycles = c.opts.Cycles
 	if c.opts.Audit {
 		cfg.Audit = true
+	}
+	if c.opts.Shards != 0 {
+		cfg.Shards = c.opts.Shards
 	}
 	key := RunKey(cfg, benchmark)
 

@@ -33,14 +33,17 @@ type goldenFile struct {
 	Digests map[string]string `json:"digests"`
 }
 
-// goldenDigest canonicalizes one run to a hex sha256.
-func goldenDigest(t *testing.T, scheme, bench string) string {
+// goldenDigest canonicalizes one run to a hex sha256. shards selects
+// the engine: 0 is sequential, >1 the parallel partition engine —
+// which must not change a single digest bit.
+func goldenDigest(t *testing.T, scheme, bench string, shards int) string {
 	t.Helper()
 	cfg, err := ConfigForScheme(scheme)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.MaxCycles = goldenCycles
+	cfg.Shards = shards
 	res, err := Simulate(cfg, bench)
 	if err != nil {
 		t.Fatalf("%s/%s: %v", scheme, bench, err)
@@ -90,7 +93,7 @@ func TestGoldenResultDigests(t *testing.T) {
 			}
 			scheme, bench := scheme, bench
 			t.Run(name, func(t *testing.T) {
-				d := goldenDigest(t, scheme, bench)
+				d := goldenDigest(t, scheme, bench, 0)
 				got[name] = d
 				if *updateGolden {
 					return

@@ -1,0 +1,57 @@
+package gpusecmem
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestGoldenResultDigestsSharded pins the parallel partition engine to
+// the same digest archive as the sequential engine: every catalogue
+// pair, simulated with Shards > 1, must hash to the byte-identical
+// golden digest. Combined with TestGoldenResultDigests this proves the
+// two engines agree bit-for-bit across all 140 pinned points (the
+// -short subset covers both encryption families either way).
+//
+// Shard counts alternate across pairs — an even divisor of the 32
+// partitions and a non-dividing count — so round-robin remainder
+// handling is exercised over the full catalogue too.
+func TestGoldenResultDigestsSharded(t *testing.T) {
+	raw, err := os.ReadFile(goldenDigestPath)
+	if err != nil {
+		t.Fatalf("missing golden digests (generate with -update-golden): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if want.Cycles != goldenCycles {
+		t.Fatalf("golden file captured at %d cycles, test runs %d — regenerate with -update-golden",
+			want.Cycles, goldenCycles)
+	}
+
+	shardCounts := []int{8, 5}
+	i := 0
+	for _, scheme := range SchemeNames() {
+		for _, bench := range Benchmarks() {
+			name := scheme + "/" + bench
+			if testing.Short() && !shortPairs[name] {
+				continue
+			}
+			shards := shardCounts[i%len(shardCounts)]
+			i++
+			scheme, bench := scheme, bench
+			t.Run(name, func(t *testing.T) {
+				d := goldenDigest(t, scheme, bench, shards)
+				w, ok := want.Digests[name]
+				if !ok {
+					t.Fatalf("no golden digest for %s — regenerate with -update-golden", name)
+				}
+				if d != w {
+					t.Errorf("shards=%d digest diverged from the sequential golden: got %s want %s",
+						shards, d, w)
+				}
+			})
+		}
+	}
+}

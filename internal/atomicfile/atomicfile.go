@@ -5,6 +5,14 @@
 // artifact that parses as corrupt. Every artifact writer in the repo
 // (timelines, traces, stats reports, profiles, experiment tables,
 // cache entries) goes through this package.
+//
+// Concurrency and aliasing contract: one File is single-owner — its
+// Write/Commit/Abort must come from one goroutine at a time. Distinct
+// writers targeting the same path need no coordination with each
+// other: each stages into its own unique temp file and the final
+// rename is atomic, so concurrent committers race only over which
+// complete file wins, never over partial content (this is what lets
+// many resultcache writers share a directory).
 package atomicfile
 
 import (

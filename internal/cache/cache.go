@@ -14,6 +14,12 @@
 // memory traffic; with MSHRs disabled, full, or the entry's merge
 // capacity exhausted, the request bypasses and issues a redundant
 // fetch — exactly the traffic MSHRs exist to filter.
+//
+// Concurrency and aliasing contract: caches and MSHR tables are
+// single-owner state with no internal locking. Each instance belongs
+// to one SM (L1) or one memory partition (L2 banks, metadata caches),
+// and under the parallel partition engine is only touched by the
+// goroutine that owns that component for the window.
 package cache
 
 import "fmt"

@@ -19,6 +19,14 @@
 // and at most QueueDepth more wait; beyond that requests are rejected
 // immediately with 429 and a Retry-After hint, so a burst degrades to
 // fast failures instead of unbounded goroutine pile-up.
+//
+// Concurrency and aliasing contract: a Server's handlers run on
+// arbitrarily many goroutines; all cross-request state is either
+// immutable after New (config, mux), channel-based (the admission and
+// worker semaphores), atomic (metrics), or internally locked (the
+// memCache LRU). Cached *Result values are shared between requests
+// and must be treated as immutable by everything downstream — render,
+// encode, but never mutate.
 package daemon
 
 import (
@@ -60,11 +68,26 @@ type Config struct {
 	// MemCacheEntries caps the in-process result LRU (default 256;
 	// negative disables it).
 	MemCacheEntries int
+	// Shards > 1 runs every served simulation on the parallel partition
+	// engine with that many shard goroutines. Results — and therefore
+	// cache entries — are bit-identical to sequential runs, so a cache
+	// directory can be shared between daemons with different shard
+	// settings. Size Workers down accordingly: each running simulation
+	// occupies Shards goroutines.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Shards > 1 {
+			// Each running simulation occupies Shards goroutines; divide
+			// the cores between concurrent requests and intra-run shards.
+			c.Workers /= c.Shards
+		}
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
 	}
 	if c.QueueDepth < 0 {
 		c.QueueDepth = 2 * c.Workers
@@ -401,7 +424,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// request; cross-request reuse comes from the shared cache view,
 	// which also attributes the result's source exactly.
 	view := s.newView()
-	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles})
+	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles, Shards: s.cfg.Shards})
 	gctx.SetResultCache(view)
 
 	t0 := time.Now()
@@ -447,7 +470,10 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown format %q (text|csv|md)", format)
 		return
 	}
-	opts := gpusecmem.Options{Audit: q.Get("audit") == "true" || q.Get("audit") == "1"}
+	opts := gpusecmem.Options{
+		Audit:  q.Get("audit") == "true" || q.Get("audit") == "1",
+		Shards: s.cfg.Shards,
+	}
 	if v := q.Get("cycles"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil || n == 0 {

@@ -6,6 +6,11 @@
 //
 // Time is kept in thirds of a core cycle so the 4/3-cycle cost of a
 // 32-byte beat is exact integer arithmetic.
+//
+// Concurrency and aliasing contract: a DRAM channel is single-owner
+// state owned by its memory partition — no internal locking; under
+// the parallel partition engine it is only ever touched by the shard
+// that owns that partition for the window.
 package dram
 
 import (

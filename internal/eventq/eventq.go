@@ -12,6 +12,15 @@
 // heap types used, so the pop order of equal-keyed elements — which
 // feeds directly into simulation output — is bit-compatible with the
 // code it replaces.
+//
+// Concurrency and aliasing contract: a Queue is single-owner state
+// with no internal locking — all operations on one queue must come
+// from one goroutine at a time, with any cross-goroutine handoff
+// externally synchronized (the parallel partition engine confines
+// each partition's queues to whichever shard owns that partition for
+// the window, with the shard pool's fork/join barrier providing the
+// handoff edges). Elements are stored by value in the queue's backing
+// slice; pointers into that slice are invalidated by any Push or Pop.
 package eventq
 
 // Timed is an event with a ready time. Equal-time events pop in the

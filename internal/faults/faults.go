@@ -14,6 +14,13 @@
 // internal/icnt and internal/dram consume it behind nil checks, and
 // the functional ground-truth experiment replays the same plan
 // against internal/secmem's real engines.
+//
+// Concurrency and aliasing contract: an Injector is single-owner
+// state — its per-site event counters advance in global simulation
+// order, one goroutine at a time. That ordering is exactly what
+// sharded execution cannot preserve, so the parallel partition engine
+// falls back to the sequential engine whenever a fault plan is
+// active.
 package faults
 
 import (

@@ -3,6 +3,18 @@
 // Bandwidth contention on the NoC is not the paper's subject (the
 // bottlenecks under study are the L2, the metadata caches, and DRAM),
 // so the interconnect adds latency and ordering only.
+//
+// Concurrency and aliasing contract: a DelayQueue is single-owner
+// state — all methods must be called from one goroutine at a time,
+// with any cross-goroutine handoff externally synchronized (the
+// parallel engine only touches its queues between windows, under the
+// shard pool's barrier). The slice PopReady returns is scratch owned
+// by the queue, valid only until the next PopReady on the same queue;
+// callers consume it immediately and never retain it. The fixed
+// latency also gives the parallel engine its conservative lookahead:
+// nothing pushed at cycle t can be delivered before t+latency, so two
+// components that only communicate through a queue cannot affect each
+// other within a window shorter than the latency.
 package icnt
 
 // DelayQueue delivers items a fixed number of cycles after they are
@@ -57,6 +69,16 @@ func (q *DelayQueue[T]) PushAfter(now uint64, extra uint64, item T) {
 	q.items = append(q.items, entry[T]{readyAt: now + q.latency + extra, item: item})
 }
 
+// PushAt enqueues an item whose absolute ready cycle has already been
+// computed (push cycle + latency + extra). It exists for the parallel
+// engine's barrier merge, which replays a window's pushes in canonical
+// order after the fact; FIFO position is append order, exactly as if
+// the item had been pushed with Push/PushAfter at its original cycle.
+func (q *DelayQueue[T]) PushAt(readyAt uint64, item T) {
+	q.Stats.Pushed++
+	q.items = append(q.items, entry[T]{readyAt: readyAt, item: item})
+}
+
 // PopReady returns all items ready at cycle now, in arrival order.
 // Items are pushed with monotonically non-decreasing ready times as
 // long as callers push with non-decreasing now, which the simulator
@@ -86,15 +108,68 @@ func (q *DelayQueue[T]) PopReady(now uint64) []T {
 			q.Stats.Delivered++
 		}
 	}
-	// Compact in place once the consumed prefix dominates.
+	q.maybeCompact()
+	q.out = out
+	return out
+}
+
+// maybeCompact reclaims the consumed prefix once it dominates the
+// backing array.
+func (q *DelayQueue[T]) maybeCompact() {
 	if q.head > 1024 && q.head*2 > len(q.items) {
 		n := copy(q.items, q.items[q.head:])
 		clearTail(q.items[n:])
 		q.items = q.items[:n]
 		q.head = 0
 	}
-	q.out = out
-	return out
+}
+
+// DrainThrough delivers ahead of time every item whose effective
+// delivery cycle is <= limit, calling visit(at, item) for each in FIFO
+// order, where at is the cycle a per-cycle PopReady loop would have
+// returned it. Because PopReady only pops from the head, an item
+// behind a later-ready head is blocked until that head pops: the
+// effective delivery cycle of item j is the running maximum of ready
+// cycles from the head through j. DrainThrough reproduces that
+// exactly, so pre-draining a window at a barrier is observationally
+// identical to popping cycle-by-cycle inside it.
+//
+// The running maximum needs no cross-call state: the drain stops at
+// the first item whose effective cycle exceeds limit, and since every
+// drained item's effective cycle was <= limit, the stopping item's own
+// ready cycle must exceed limit — it dominates the drained prefix, so
+// a later drain restarting the maximum from the new head is exact.
+//
+// A delivery tap (SetTap) is applied per item just as in PopReady:
+// visit runs once per surviving copy and Stats count drops and
+// duplicates identically.
+func (q *DelayQueue[T]) DrainThrough(limit uint64, visit func(at uint64, item T)) {
+	eff := uint64(0)
+	for q.head < len(q.items) {
+		e := q.items[q.head]
+		if e.readyAt > eff {
+			eff = e.readyAt
+		}
+		if eff > limit {
+			break
+		}
+		q.head++
+		copies := 1
+		if q.tap != nil {
+			copies = q.tap(e.item)
+			switch {
+			case copies <= 0:
+				q.Stats.Dropped++
+			case copies > 1:
+				q.Stats.Duplicated += uint64(copies - 1)
+			}
+		}
+		for c := 0; c < copies; c++ {
+			q.Stats.Delivered++
+			visit(eff, e.item)
+		}
+	}
+	q.maybeCompact()
 }
 
 // clearTail zeroes vacated entries so pointer-bearing payloads do not

@@ -8,6 +8,12 @@
 // raw access (Read/Write with no protection): the secure-memory engines
 // in internal/secmem layer confidentiality and integrity on top, and
 // the tamper tests use the raw interface to play the attacker.
+//
+// Concurrency and aliasing contract: a Sparse store is single-owner —
+// no
+// internal locking; concurrent readers and writers must synchronize
+// externally. Read copies into the caller's buffer and Write copies
+// out of it, so callers may reuse their buffers immediately.
 package mem
 
 import "fmt"

@@ -12,6 +12,13 @@
 // and workload, a probed run therefore produces the same Result as an
 // unprobed one, plus a deterministic Report (see DESIGN.md §9 for the
 // determinism contract).
+//
+// Concurrency and aliasing contract: a probe instance is single-owner
+// state attached to one simulator instance and driven from its
+// goroutine. Span and timeline records index global cycle-ordered
+// state, which is why the parallel partition engine falls back to the
+// sequential engine when a probe is attached rather than interleave
+// writers (DESIGN.md "Parallel partition engine").
 package probe
 
 import "fmt"

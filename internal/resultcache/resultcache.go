@@ -15,6 +15,14 @@
 // not persisted (they are unexported scratch for trace export, which
 // never reads from this cache); everything an experiment table or the
 // JSON wire form renders survives the round trip.
+//
+// Concurrency and aliasing contract: a Cache is safe for concurrent
+// use by any number of goroutines *and processes* sharing one
+// directory — it holds no mutable in-memory state beyond atomic
+// counters, reads only open complete files, and writes rename
+// complete files into place. The *sim.Result a Get returns is a fresh
+// decode owned by the caller; the Result passed to Put is only read,
+// synchronously, during the call.
 package resultcache
 
 import (

@@ -33,8 +33,16 @@ import (
 
 // Options controls a sweep.
 type Options struct {
-	// Jobs is the worker-pool size; <=0 means runtime.GOMAXPROCS(0).
+	// Jobs is the worker-pool size; <=0 picks a default from the core
+	// budget: runtime.GOMAXPROCS(0) divided by Shards (floored at 1),
+	// so shards×jobs goroutines roughly match the available cores.
 	Jobs int
+	// Shards is the per-run shard-goroutine count the sweep's
+	// simulations execute with (the Context applies it to each Config;
+	// see gpusecmem.Options.Shards). Here it only informs the default
+	// Jobs split — run results and output bytes are identical at any
+	// value.
+	Shards int
 	// Progress enables a periodic one-line status ticker.
 	Progress bool
 	// ProgressOut receives ticker lines (default os.Stderr).
@@ -189,6 +197,14 @@ func Run(ctx context.Context, gctx *gpusecmem.Context, exps []gpusecmem.Experime
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
+		if opts.Shards > 1 {
+			// Each run already occupies Shards goroutines; divide the
+			// cores between intra-run and across-run parallelism.
+			jobs /= opts.Shards
+		}
+		if jobs < 1 {
+			jobs = 1
+		}
 	}
 	start := time.Now()
 	gctx.SetBaseContext(ctx)

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryWorker: each Fork must invoke the closure exactly
+// once per worker, with distinct worker indices.
+func TestPoolRunsEveryWorker(t *testing.T) {
+	const n = 7
+	p := NewPool(n)
+	defer p.Close()
+	for round := 0; round < 100; round++ {
+		var seen [n]int32
+		p.Run(func(w int) {
+			atomic.AddInt32(&seen[w], 1)
+		})
+		for w, c := range seen {
+			if c != 1 {
+				t.Fatalf("round %d: worker %d ran %d times", round, w, c)
+			}
+		}
+	}
+}
+
+// TestPoolBarrierVisibility: writes made by workers before Join must
+// be visible to the coordinator after Join without extra
+// synchronization, and coordinator writes before Fork must be visible
+// to workers — the happens-before edges the parallel engine relies on.
+func TestPoolBarrierVisibility(t *testing.T) {
+	const n = 4
+	p := NewPool(n)
+	defer p.Close()
+	input := make([]uint64, n)
+	output := make([]uint64, n)
+	var total uint64
+	for round := uint64(1); round <= 500; round++ {
+		for w := range input {
+			input[w] = round * uint64(w+1)
+		}
+		p.Fork(func(w int) {
+			output[w] = input[w] * 2
+		})
+		// Coordinator work overlapping the window.
+		total += round
+		p.Join()
+		for w := range output {
+			if want := round * uint64(w+1) * 2; output[w] != want {
+				t.Fatalf("round %d: worker %d wrote %d, want %d", round, w, output[w], want)
+			}
+		}
+	}
+}
+
+// TestPoolSizeOne: a single-worker pool must still complete windows
+// (degenerate sharding).
+func TestPoolSizeOne(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ran := false
+	p.Run(func(w int) {
+		if w != 0 {
+			t.Errorf("worker index = %d, want 0", w)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("closure did not run")
+	}
+}
+
+func TestPoolRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0)
+}

@@ -68,6 +68,13 @@ type GPU struct {
 	// oneTok backs single-token reply delivery without allocating.
 	oneTok [1]uint64
 
+	// smStage, when non-nil, redirects issueMem's L1-hit replies into
+	// the parallel engine's SM-task staging buffer; parallelWindows
+	// counts executed barrier windows (a test hook asserting which
+	// engine actually ran).
+	smStage         *replyStage
+	parallelWindows uint64
+
 	// inj executes cfg.Faults; nil on the (zero-cost) no-fault path.
 	inj *faults.Injector
 	// probe carries the observability instruments; nil on the
@@ -78,6 +85,10 @@ type GPU struct {
 	completedLoads uint64
 	lastProgress   uint64
 	lastProgressAt uint64
+	// maxProgressGap is the longest observed stretch between progress
+	// events (diagnostics and tests; maintained by the sequential
+	// engine's watchdog check).
+	maxProgressGap uint64
 }
 
 // New builds a GPU for cfg running the given workload generator.
@@ -211,7 +222,12 @@ func (g *GPU) issueMem(mi smcore.MemIssue) int {
 			outstanding++
 			g.loads[tok] = loadReq{sm: mi.SM, warp: mi.Warp}
 			// Hit latency reply through the local pipeline (no icnt).
-			g.toSM.PushAfter(g.now, g.cfg.L1Latency, smReply{globalAddr: addr, token: tok})
+			if st := g.smStage; st != nil {
+				g.oneTok[0] = tok
+				st.stageReply(g.now, g.now+g.cfg.L1Latency, addr, g.oneTok[:])
+			} else {
+				g.toSM.PushAfter(g.now, g.cfg.L1Latency, smReply{globalAddr: addr, token: tok})
+			}
 		case acc.NeedFetch:
 			outstanding++
 			g.loads[tok] = loadReq{sm: mi.SM, warp: mi.Warp, fillBypass: acc.Bypass}
@@ -412,6 +428,9 @@ const cancelCheckMask = 0x3ff
 // fast-forward logic run), so a run that is never cancelled produces
 // bit-identical results to Run.
 func (g *GPU) RunContext(ctx context.Context) (*Result, error) {
+	if g.parallelEligible() {
+		return g.runParallel(ctx)
+	}
 	// Per-cycle auditing wants every cycle stepped; per-component
 	// skipping inside step stays on (it is state-identical, so the
 	// auditors see the same books).

@@ -99,6 +99,17 @@ type partition struct {
 	// 16 = everything.
 	protectedStripes uint64
 
+	// localTok seeds newToken: partition-owned tokens (readState ids,
+	// DRAM destination tokens) are generated locally so the parallel
+	// engine needs no shared counter. Token values are opaque map keys
+	// and never ordered or iterated, so local generation changes no
+	// observable result.
+	localTok uint64
+	// stage, when non-nil, redirects sendReply into the parallel
+	// engine's per-shard staging buffer instead of the shared toSM
+	// queue; nil (the sequential engine) costs one pointer test.
+	stage *replyStage
+
 	ctrReuse, macReuse *stats.ReuseProfiler
 }
 
@@ -184,6 +195,29 @@ func layoutFor(cfg *Config) *geometry.Layout {
 	return geometry.MustLayout(cfg.ProtectedBytes/uint64(cfg.NumPartitions), kind)
 }
 
+// newToken returns a fresh partition-unique token. Tokens are only
+// ever compared for equality against tokens of the same partition, so
+// uniqueness within the partition suffices; the partition-id high bits
+// keep them globally distinct anyway, and the +1 keeps them nonzero (0
+// is the "no waiter" sentinel in the metadata wake paths).
+func (p *partition) newToken() uint64 {
+	p.localTok++
+	return uint64(p.id+1)<<40 | p.localTok
+}
+
+// sendReply forwards completed sector data toward the SMs: directly
+// onto the toSM delay queue under the sequential engine, or into the
+// shard's staging buffer under the parallel engine (merged into toSM
+// in canonical order at the window barrier). tokens may alias
+// cache-owned scratch; the staged path copies token-by-token.
+func (p *partition) sendReply(now, at, globalAddr uint64, tokens []uint64) {
+	if st := p.stage; st != nil {
+		st.stageReply(now, at, globalAddr, tokens)
+		return
+	}
+	p.gpu.scheduleReply(at, globalAddr, tokens)
+}
+
 // isProtected reports whether a partition-local data address falls in
 // the selectively-protected stripes (1 MB granularity, 16 stripes per
 // 16 MB period).
@@ -251,7 +285,7 @@ func (p *partition) handleL2Read(globalAddr, localAddr, token uint64, now uint64
 		if pr := p.gpu.probe; pr != nil {
 			p.recordHitSpan(pr, now)
 		}
-		p.gpu.scheduleReply(now+p.cfg.L2Latency, globalAddr, []uint64{token})
+		p.sendReply(now, now+p.cfg.L2Latency, globalAddr, []uint64{token})
 	case acc.NeedFetch:
 		p.startRead(globalAddr, localAddr, token, acc.Bypass, bank, now)
 	}
@@ -277,7 +311,7 @@ func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool
 		rs = new(readState)
 	}
 	*rs = readState{
-		id:         p.gpu.newToken(),
+		id:         p.newToken(),
 		globalAddr: globalAddr,
 		localAddr:  localAddr,
 		l2Token:    token,
@@ -287,7 +321,7 @@ func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool
 	}
 	p.reads[rs.id] = rs
 	// Data fetch.
-	dt := p.gpu.newToken()
+	dt := p.newToken()
 	p.dests[dt] = dest{kind: destDataFill, readID: rs.id}
 	p.dram.Enqueue(dram.Request{Addr: localAddr, Bytes: geometry.SectorSize, Token: dt, Kind: int(KindData)})
 
@@ -328,7 +362,7 @@ func (p *partition) counterAccess(rs *readState, now uint64) {
 		ms.MissesSecondary++
 	}
 	if acc.NeedFetch {
-		dt := p.gpu.newToken()
+		dt := p.newToken()
 		d := dest{kind: destCtrFill, addr: ctrAddr, bypass: acc.Bypass, issuedAt: now}
 		if acc.Bypass {
 			d.readID = rs.id
@@ -359,7 +393,7 @@ func (p *partition) macAccess(rs *readState, now uint64) {
 		ms.MissesSecondary++
 	}
 	if acc.NeedFetch {
-		dt := p.gpu.newToken()
+		dt := p.newToken()
 		d := dest{kind: destMACFill, addr: macLine, bypass: acc.Bypass, issuedAt: now}
 		if acc.Bypass {
 			d.readID = rs.id
@@ -451,7 +485,7 @@ func (p *partition) finishRead(rs *readState, now uint64) {
 		p.handleDataWriteback(fill.Writeback, now)
 	}
 	if len(tokens) > 0 {
-		p.gpu.scheduleReply(now, rs.globalAddr, tokens)
+		p.sendReply(now, now, rs.globalAddr, tokens)
 	}
 	rs.finished = true
 	p.maybeRetire(rs)
@@ -519,7 +553,7 @@ func (p *partition) metaWriteAccess(mk MetaKind, c *cache.Cache, addr uint64, fi
 	}
 	if acc.NeedFetch {
 		lineAddr := addr / geometry.LineSize * geometry.LineSize
-		dt := p.gpu.newToken()
+		dt := p.newToken()
 		p.dests[dt] = dest{kind: fillKind, addr: lineAddr, bypass: acc.Bypass, write: true, issuedAt: now}
 		p.dram.Enqueue(dram.Request{Addr: lineAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(traffic)})
 	}
@@ -590,7 +624,7 @@ func (p *partition) verifyWalk(level int, idx uint64, now uint64) {
 			p.handleMetaWriteback(acc.Writeback, now)
 		}
 		if acc.NeedFetch {
-			dt := p.gpu.newToken()
+			dt := p.newToken()
 			p.dests[dt] = dest{kind: destTreeFill, addr: nodeAddr, bypass: acc.Bypass, issuedAt: now}
 			p.dram.Enqueue(dram.Request{Addr: nodeAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(KindTree)})
 			return // continue from the parent at fill time

@@ -42,12 +42,15 @@ func (g *GPU) progress() uint64 {
 // progress for WatchdogCycles cycles with loads still in flight. An
 // idle machine (nothing outstanding) is not a stall.
 func (g *GPU) checkWatchdog() error {
-	if g.cfg.WatchdogCycles == 0 {
-		return nil
-	}
 	if p := g.progress(); p != g.lastProgress {
+		if gap := g.now - g.lastProgressAt; gap > g.maxProgressGap {
+			g.maxProgressGap = gap
+		}
 		g.lastProgress = p
 		g.lastProgressAt = g.now
+		return nil
+	}
+	if g.cfg.WatchdogCycles == 0 {
 		return nil
 	}
 	if len(g.loads) == 0 || g.now-g.lastProgressAt < g.cfg.WatchdogCycles {

@@ -5,6 +5,11 @@
 // compute batches and memory operations produced by a workload
 // generator — because the paper's experiments exercise the memory
 // system, not the ALUs.
+//
+// Concurrency and aliasing contract: an SM is single-owner state. The
+// parallel partition engine keeps every SM on the coordinator
+// goroutine (only partitions shard out), so SM code never observes
+// concurrency at all.
 package smcore
 
 // WarpOp is one generator-produced step of a warp: a batch of compute

@@ -1,6 +1,11 @@
 // Package stats provides the measurement instruments of the
 // simulator: plain counters, ratio helpers, and the reuse-distance
 // profiler used for the paper's Figures 10 and 11.
+//
+// Concurrency and aliasing contract: counters and profilers are plain
+// (non-atomic) single-owner state; each instance is embedded in one
+// simulator component and updated only by that component's owning
+// goroutine.
 package stats
 
 import (

@@ -10,6 +10,11 @@
 // an IPC of comparable magnitude. All generators are deterministic:
 // irregular patterns derive addresses from a splitmix64 hash of
 // (sm, warp, iter), never from a global RNG.
+//
+// Concurrency and aliasing contract: generators are stateless after
+// construction — every address is a pure function of (sm, warp, iter)
+// — so one generator instance may serve any number of goroutines, and
+// the parallel partition engine needs no special handling for them.
 package trace
 
 import (
