@@ -1,0 +1,230 @@
+package gpusecmem
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"gpusecmem/internal/checkpoint"
+	"gpusecmem/internal/sim"
+)
+
+// The resume-identity net for checkpoint/restore: a run interrupted at
+// an arbitrary checkpoint and resumed in a second process (modeled
+// here by a second store handle and a fresh simulation) must produce a
+// Result bit-identical to a never-interrupted run — which
+// TestGoldenResultDigests pins against the pre-checkpoint tree, so
+// identity here is transitively golden-pinned.
+
+func resultDigest(t *testing.T, res *Result) string {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+func schemeCfg(t *testing.T, scheme string, cycles uint64, shards int) Config {
+	t.Helper()
+	cfg, err := ConfigForScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxCycles = cycles
+	cfg.Shards = shards
+	return cfg
+}
+
+func ckptStore(t *testing.T) *checkpoint.Store {
+	t.Helper()
+	s, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runCheckpointed(t *testing.T, cfg Config, bench string, cs CheckpointStore, every uint64) *Result {
+	t.Helper()
+	res, err := SimulateCheckpointed(context.Background(), cfg, bench, cs, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestResumeIdentity interrupts runs at a shorter horizon and resumes
+// them to the golden horizon, across schemes, checkpoint intervals on
+// and off fast-forward boundaries, and both engines (checkpoint under
+// shards, resume sequentially, and the reverse). Every resumed digest
+// must equal the uninterrupted run's.
+func TestResumeIdentity(t *testing.T) {
+	type combo struct {
+		scheme, bench             string
+		every                     uint64
+		shardsFirst, shardsSecond int
+	}
+	combos := []combo{
+		// Intervals: 1500 divides typical probe/watchdog-free horizons
+		// evenly; 1237 is prime, so checkpoints land mid-window, off any
+		// fast-forward boundary.
+		{"ctr_mac_bmt", "fdtd2d", 1500, 0, 0},
+		{"ctr_mac_bmt", "fdtd2d", 1237, 0, 0},
+		{"direct_mac_mt", "srad_v2", 1237, 0, 0},
+		{"baseline", "fdtd2d", 1500, 0, 0},
+		{"unified", "bfs", 1237, 0, 0},
+		// Cross-engine: barrier checkpoints are the same states the
+		// sequential engine snapshots, in both directions.
+		{"ctr_mac_bmt", "fdtd2d", 1500, 4, 0},
+		{"ctr_mac_bmt", "fdtd2d", 1500, 0, 4},
+	}
+	for _, c := range combos {
+		c := c
+		name := c.scheme + "/" + c.bench
+		if testing.Short() && !shortPairs[name] {
+			continue
+		}
+		t.Run(namef(c.scheme, c.bench, c.every, c.shardsFirst, c.shardsSecond), func(t *testing.T) {
+			want := referenceDigest(t, c.scheme, c.bench)
+			store := ckptStore(t)
+
+			// Phase 1: the "interrupted" run, to half the horizon. Its
+			// final checkpoint at 3000 is what phase 2 resumes from.
+			short := schemeCfg(t, c.scheme, goldenCycles/2, c.shardsFirst)
+			runCheckpointed(t, short, c.bench, store, c.every)
+
+			// Phase 2: the full-horizon run must resume, not restart.
+			full := schemeCfg(t, c.scheme, goldenCycles, c.shardsSecond)
+			if from := ResumedFrom(full, c.bench, store); from != goldenCycles/2 {
+				t.Fatalf("would resume from cycle %d, want %d", from, goldenCycles/2)
+			}
+			res := runCheckpointed(t, full, c.bench, store, c.every)
+			if got := resultDigest(t, res); got != want {
+				t.Errorf("resumed run digest %s != uninterrupted %s", got, want)
+			}
+		})
+	}
+}
+
+func namef(scheme, bench string, every uint64, s1, s2 int) string {
+	return fmt.Sprintf("%s/%s/every=%d/shards=%d-%d", scheme, bench, every, s1, s2)
+}
+
+// referenceDigests memoizes the uninterrupted reference runs: several
+// combos share one (scheme, bench) pair.
+var referenceDigests = map[string]string{}
+
+func referenceDigest(t *testing.T, scheme, bench string) string {
+	t.Helper()
+	key := scheme + "/" + bench
+	if d, ok := referenceDigests[key]; ok {
+		return d
+	}
+	d := goldenDigest(t, scheme, bench, 0)
+	referenceDigests[key] = d
+	return d
+}
+
+// A request whose horizon equals an existing checkpoint's cycle is the
+// incremental-serving edge: restore, simulate zero cycles, collect.
+func TestResumeAtExactHorizon(t *testing.T) {
+	store := ckptStore(t)
+	cfg := schemeCfg(t, "ctr_mac_bmt", 3000, 0)
+	first := runCheckpointed(t, cfg, "nw", store, 1000)
+	second := runCheckpointed(t, cfg, "nw", store, 1000)
+	if a, b := resultDigest(t, first), resultDigest(t, second); a != b {
+		t.Fatalf("resume-at-horizon digest %s != original %s", b, a)
+	}
+	if from := ResumedFrom(cfg, "nw", store); from != 3000 {
+		t.Fatalf("final checkpoint at %d, want 3000", from)
+	}
+}
+
+// Corrupt or foreign-version checkpoints must silently restart the run
+// from cycle 0 — never resume wrong, never fail the run.
+func TestBadCheckpointRestartsFromZero(t *testing.T) {
+	cfg := schemeCfg(t, "ctr_mac_bmt", 3000, 0)
+	const bench = "nw"
+	plain, err := Simulate(cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultDigest(t, plain)
+
+	t.Run("undecodable-state", func(t *testing.T) {
+		store := ckptStore(t)
+		store.Put(CheckpointKey(cfg, bench), 2000, []byte("not a machine state"))
+		res := runCheckpointed(t, cfg, bench, store, 1000)
+		if got := resultDigest(t, res); got != want {
+			t.Errorf("digest %s != plain %s", got, want)
+		}
+	})
+	t.Run("foreign-version", func(t *testing.T) {
+		store := ckptStore(t)
+		// A real snapshot, re-stamped with a future StateVersion: the
+		// envelope validates, DecodeState succeeds, Restore refuses.
+		seed := ckptStore(t)
+		runCheckpointed(t, cfg, bench, seed, 2000)
+		_, raw, ok := seed.Latest(CheckpointKey(cfg, bench), cfg.MaxCycles)
+		if !ok {
+			t.Fatal("no seed checkpoint")
+		}
+		st, err := sim.DecodeState(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Version = sim.StateVersion + 1
+		reraw, err := sim.EncodeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Put(CheckpointKey(cfg, bench), st.Now, reraw)
+		res := runCheckpointed(t, cfg, bench, store, 1000)
+		if got := resultDigest(t, res); got != want {
+			t.Errorf("digest %s != plain %s", got, want)
+		}
+	})
+}
+
+// Configurations checkpointing does not cover run plain: correct
+// results, no checkpoints written.
+func TestUncoveredConfigsRunPlain(t *testing.T) {
+	store := ckptStore(t)
+	cfg := schemeCfg(t, "ctr_mac_bmt", 2000, 0)
+	cfg.Probe = &ProbeConfig{Spans: true}
+	res := runCheckpointed(t, cfg, "nw", store, 500)
+	if res == nil || res.Probe == nil {
+		t.Fatal("probed run lost its report through the checkpointed path")
+	}
+	if n := store.Len(); n != 0 {
+		t.Fatalf("store holds %d checkpoints for an uncoverable config, want 0", n)
+	}
+}
+
+// CheckpointKey must be horizon-independent (that is the whole point:
+// one lineage serves every MaxCycles) but distinguish everything else.
+func TestCheckpointKeyLineage(t *testing.T) {
+	a := schemeCfg(t, "ctr_mac_bmt", 3000, 0)
+	b := schemeCfg(t, "ctr_mac_bmt", 60000, 0)
+	if CheckpointKey(a, "nw") != CheckpointKey(b, "nw") {
+		t.Fatal("checkpoint key depends on MaxCycles")
+	}
+	if CheckpointKey(a, "nw") == CheckpointKey(a, "lbm") {
+		t.Fatal("checkpoint key ignores the benchmark")
+	}
+	c := schemeCfg(t, "direct_mac", 3000, 0)
+	if CheckpointKey(a, "nw") == CheckpointKey(c, "nw") {
+		t.Fatal("checkpoint key ignores the scheme")
+	}
+	// Shards is an execution hint, excluded from the canonical JSON:
+	// both engines share one lineage.
+	d := schemeCfg(t, "ctr_mac_bmt", 3000, 4)
+	if CheckpointKey(a, "nw") != CheckpointKey(d, "nw") {
+		t.Fatal("checkpoint key depends on Shards")
+	}
+}

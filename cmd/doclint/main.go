@@ -42,6 +42,7 @@ import (
 var contractRequired = map[string]bool{
 	"internal/atomicfile":  true,
 	"internal/cache":       true,
+	"internal/checkpoint":  true,
 	"internal/daemon":      true,
 	"internal/dram":        true,
 	"internal/eventq":      true,

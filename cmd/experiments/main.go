@@ -42,6 +42,7 @@ import (
 
 	"gpusecmem"
 	"gpusecmem/internal/atomicfile"
+	"gpusecmem/internal/checkpoint"
 	"gpusecmem/internal/report"
 	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/runner"
@@ -79,6 +80,8 @@ func main() {
 		audit      = flag.Bool("audit", false, "run every simulation with invariant auditors enabled (changes memo keys; slower)")
 		debugAddr  = flag.String("debug-addr", "", "serve the sweep debug HTTP endpoint (live progress, expvar, pprof) on this address, e.g. localhost:6060")
 		cacheDir   = flag.String("cache-dir", "", "persist simulation results in this directory, keyed by canonical config digest")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist mid-run machine checkpoints in this directory; interrupted sweeps resume instead of restarting")
+		ckptEvery  = flag.Uint64("checkpoint-every", 5000, "checkpoint interval in cycles (with -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,16 @@ func main() {
 			os.Exit(1)
 		}
 		gctx.SetResultCache(disk)
+	}
+	var ckpt *checkpoint.Store
+	if *ckptDir != "" {
+		var err error
+		ckpt, err = checkpoint.Open(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gctx.SetCheckpointStore(ckpt, *ckptEvery)
 	}
 
 	var selected []gpusecmem.Experiment
@@ -186,6 +199,11 @@ func main() {
 	diskNote := ""
 	if *cacheDir != "" {
 		diskNote = fmt.Sprintf(" (%d from disk)", rep.DiskHits)
+	}
+	if ckpt != nil {
+		cs := ckpt.Stats()
+		diskNote += fmt.Sprintf(", checkpoints %d resumed / %d saved / %d errors",
+			cs.Hits, cs.Puts, cs.Errors)
 	}
 	fmt.Fprintf(os.Stderr,
 		"sweep: %d experiments (%d failed), %d runs planned / %d executed (%d failed), cache %d hits / %d misses%s, jobs %d, wall %s, %.0f cycles/sec aggregate\n",

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpusecmem/internal/checkpoint"
 	"gpusecmem/internal/daemon"
 	"gpusecmem/internal/resultcache"
 )
@@ -41,6 +42,9 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight runs are cancelled")
 		memCap   = flag.Int("mem-cache", 256, "in-process result LRU entries (negative disables)")
 		shards   = flag.Int("shards", 0, "shard goroutines per served simulation (parallel partition engine; 0/1 = sequential, results bit-identical)")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist mid-run machine checkpoints in this directory; longer-horizon requests resume instead of restarting, and shutdown checkpoints in-flight runs")
+		ckptN    = flag.Uint64("checkpoint-every", 5000, "checkpoint interval in cycles (with -checkpoint-dir)")
+		grace    = flag.Duration("abort-grace", 5*time.Second, "post-abort budget for cancelled handlers to flush (after -drain expires)")
 	)
 	flag.Parse()
 
@@ -59,6 +63,17 @@ func main() {
 		}
 		cfg.Cache = disk
 		fmt.Fprintf(os.Stderr, "secmemd: result cache at %s (%d entries)\n", disk.Dir(), disk.Len())
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Checkpoints = store
+		cfg.CheckpointEvery = *ckptN
+		fmt.Fprintf(os.Stderr, "secmemd: checkpoint store at %s (%d checkpoints, every %d cycles)\n",
+			store.Dir(), store.Len(), *ckptN)
 	}
 	d := daemon.New(cfg)
 
@@ -88,10 +103,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		// Drain budget exhausted: cancel in-flight simulations so their
-		// handlers return, then close whatever is left.
+		// handlers return — each checkpointed run snapshots on the way
+		// out, so a restart resumes it — then close whatever is left
+		// after -abort-grace.
 		fmt.Fprintln(os.Stderr, "secmemd: drain expired, cancelling in-flight runs")
 		d.Abort()
-		abortCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		abortCtx, cancel2 := context.WithTimeout(context.Background(), *grace)
 		defer cancel2()
 		if err := srv.Shutdown(abortCtx); err != nil {
 			srv.Close()

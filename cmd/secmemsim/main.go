@@ -14,18 +14,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"gpusecmem"
 	"gpusecmem/internal/atomicfile"
+	"gpusecmem/internal/checkpoint"
 )
 
 func schemeConfig(scheme string, aesLatency, engines, metaKB, mshrs int, unified bool) (gpusecmem.Config, error) {
@@ -67,6 +71,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write span records as Chrome trace-event JSON (Perfetto) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
+		ckptDir    = flag.String("checkpoint-dir", "", "persist machine checkpoints in this directory; a rerun resumes from the newest valid one instead of restarting")
+		ckptEvery  = flag.Uint64("checkpoint-every", 5000, "checkpoint interval in cycles (with -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -133,16 +139,41 @@ func main() {
 		}()
 	}
 
+	// With -checkpoint-dir, both runs snapshot periodically and resume
+	// from the newest valid checkpoint of their lineage; SIGINT/SIGTERM
+	// stop cooperatively and checkpoint before exiting, so the next
+	// invocation continues where this one left off. Results are
+	// bit-identical to uninterrupted runs either way.
+	var ckpt gpusecmem.CheckpointStore
+	if *ckptDir != "" {
+		store, err := checkpoint.Open(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ckpt = store
+	}
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+	simulate := func(cfg gpusecmem.Config, bench string) (*gpusecmem.Result, error) {
+		if ckpt != nil {
+			if from := gpusecmem.ResumedFrom(cfg, bench, ckpt); from > 0 {
+				fmt.Fprintf(os.Stderr, "resuming from checkpoint at cycle %d\n", from)
+			}
+		}
+		return gpusecmem.SimulateCheckpointed(ctx, cfg, bench, ckpt, *ckptEvery)
+	}
+
 	// The baseline comparison run stays fault-free and unaudited: it is
 	// only there to normalize IPC.
 	base := gpusecmem.BaselineConfig()
 	base.MaxCycles = *cycles
 	base.Shards = *shards
-	bres, err := gpusecmem.Simulate(base, *bench)
+	bres, err := simulate(base, *bench)
 	if err != nil {
 		fail(err)
 	}
-	res, err := gpusecmem.Simulate(cfg, *bench)
+	res, err := simulate(cfg, *bench)
 	if err != nil {
 		fail(err)
 	}
@@ -243,8 +274,13 @@ func writeProbeFiles(res *gpusecmem.Result, timeline, traceOut string) error {
 }
 
 // fail reports a simulation error; a watchdog stall also gets its
-// machine-state dump so a wedged configuration is diagnosable.
+// machine-state dump so a wedged configuration is diagnosable. A
+// cooperative interrupt exits 130 like a conventional Ctrl-C.
 func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted; with -checkpoint-dir the run checkpointed and a rerun resumes")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, err)
 	var stall *gpusecmem.StallError
 	if errors.As(err, &stall) && stall.Dump != "" {

@@ -224,6 +224,23 @@ func (c *Context) SetBaseContext(ctx context.Context) {
 // runs are in flight.
 func (c *Context) SetResultCache(rc ResultCache) { c.disk = rc }
 
+// SetCheckpointStore routes every fresh simulation this Context owns
+// through SimulateCheckpointed against cs, snapshotting every `every`
+// cycles: sweeps survive crashes and re-runs resume instead of
+// restarting. A nil store or zero interval restores the plain path.
+// Not safe to call while runs are in flight, and it replaces the
+// simulation entry point (tests that substitute it should not also
+// arm checkpointing).
+func (c *Context) SetCheckpointStore(cs CheckpointStore, every uint64) {
+	if cs == nil || every == 0 {
+		c.simulate = SimulateContext
+		return
+	}
+	c.simulate = func(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
+		return SimulateCheckpointed(ctx, cfg, benchmark, cs, every)
+	}
+}
+
 // Benchmarks returns the benchmark list in effect.
 func (c *Context) Benchmarks() []string { return c.opts.Benchmarks }
 

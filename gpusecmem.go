@@ -20,6 +20,7 @@ package gpusecmem
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"gpusecmem/internal/faults"
@@ -137,6 +138,98 @@ func Simulate(cfg Config, benchmark string) (*Result, error) {
 // Simulate.
 func SimulateContext(ctx context.Context, cfg Config, benchmark string) (*Result, error) {
 	return sim.RunContext(ctx, cfg, benchmark)
+}
+
+// --- Checkpoint/restore ---
+
+// CheckpointStore persists mid-run machine snapshots for crash-safe
+// long-horizon runs and incremental horizon extension (DESIGN.md §14).
+// Latest returns the newest valid snapshot for a checkpoint key with
+// cycle <= maxCycle; Put stores one. Implementations must treat any
+// invalid entry as a miss (internal/checkpoint is the on-disk
+// implementation) and must be safe for concurrent use.
+type CheckpointStore interface {
+	Latest(key string, maxCycle uint64) (cycle uint64, state []byte, ok bool)
+	Put(key string, cycle uint64, state []byte) error
+}
+
+// CheckpointKey is the canonical checkpoint-lineage key for one
+// (config, benchmark) pair: the RunKey with MaxCycles zeroed, so runs
+// of the same machine at different horizons share one checkpoint
+// lineage — a 4k-cycle run's final checkpoint resumes a 16k-cycle
+// request.
+func CheckpointKey(cfg Config, benchmark string) string {
+	cfg.MaxCycles = 0
+	return RunKey(cfg, benchmark)
+}
+
+// SimulateCheckpointed is SimulateContext with crash-safe
+// checkpointing: the run resumes from the newest valid checkpoint at
+// or before the horizon (or cycle 0 when none exists), snapshots into
+// cs every `every` cycles and at completion or cancellation, and
+// produces a Result bit-identical to an uninterrupted SimulateContext
+// run. Configurations checkpointing does not cover — fault injection,
+// probes, auditing, reuse profiling — and a nil store or zero interval
+// silently run plain.
+func SimulateCheckpointed(ctx context.Context, cfg Config, benchmark string, cs CheckpointStore, every uint64) (*Result, error) {
+	if cs == nil || every == 0 ||
+		cfg.Audit || cfg.Faults != nil || cfg.Probe != nil || cfg.ProfileReuse {
+		return sim.RunContext(ctx, cfg, benchmark)
+	}
+	key := CheckpointKey(cfg, benchmark)
+	sink := func(cycle uint64, st *sim.MachineState) {
+		b, err := sim.EncodeState(st)
+		if err != nil {
+			return
+		}
+		cs.Put(key, cycle, b)
+	}
+	build := func() (*sim.GPU, error) {
+		gen, err := trace.New(benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		g, err := sim.New(cfg, gen)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		return g, nil
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if _, state, ok := cs.Latest(key, cfg.MaxCycles); ok {
+		// Any failure along the resume path — undecodable bytes, a stale
+		// StateVersion, a shape mismatch — degrades to a fresh run from
+		// cycle 0 on a rebuilt machine, never to wrong state.
+		st, err := sim.DecodeState(state)
+		if err == nil {
+			if err := g.Restore(st); err != nil {
+				if g, err = build(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	g.SetCheckpoint(every, sink)
+	return g.RunContext(ctx)
+}
+
+// ResumedFrom reports the cycle a SimulateCheckpointed run would
+// resume from given the store's current contents: the newest valid
+// checkpoint at or before the horizon, or 0 for a fresh run. It is a
+// read-only preview (no store counters change semantics beyond a
+// Latest probe) used for attribution and logging.
+func ResumedFrom(cfg Config, benchmark string, cs CheckpointStore) uint64 {
+	if cs == nil {
+		return 0
+	}
+	cycle, _, ok := cs.Latest(CheckpointKey(cfg, benchmark), cfg.MaxCycles)
+	if !ok {
+		return 0
+	}
+	return cycle
 }
 
 // --- Fault injection & self-checking ---

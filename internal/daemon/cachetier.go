@@ -127,3 +127,59 @@ func (v *cacheView) count(m *metrics) {
 	m.diskHits.Add(v.diskHits.Load())
 	m.simulated.Add(v.puts.Load())
 }
+
+// ckptView is a per-request gpusecmem.CheckpointStore over the shared
+// store. Like cacheView it exists for exact attribution: a Latest hit
+// means this request's simulation started from a mid-run snapshot
+// instead of cycle 0, which the response reports as source "resumed".
+type ckptView struct {
+	store gpusecmem.CheckpointStore
+
+	resumes, saves atomic.Uint64
+}
+
+// armCheckpoints routes gctx's fresh simulations through the daemon's
+// checkpoint store, when one is configured, and returns the request's
+// attribution view (nil — and safe to use — when checkpointing is
+// off). Shutdown checkpointing needs no extra plumbing: cancelling a
+// checkpointed run snapshots it before the simulator returns.
+func (s *Server) armCheckpoints(gctx *gpusecmem.Context) *ckptView {
+	if s.cfg.Checkpoints == nil {
+		return nil
+	}
+	v := &ckptView{store: s.cfg.Checkpoints}
+	gctx.SetCheckpointStore(v, s.cfg.CheckpointEvery)
+	return v
+}
+
+func (v *ckptView) Latest(key string, maxCycle uint64) (uint64, []byte, bool) {
+	cycle, state, ok := v.store.Latest(key, maxCycle)
+	if ok {
+		v.resumes.Add(1)
+	}
+	return cycle, state, ok
+}
+
+func (v *ckptView) Put(key string, cycle uint64, state []byte) error {
+	v.saves.Add(1)
+	return v.store.Put(key, cycle, state)
+}
+
+// sourceOr returns "resumed" when this request's simulation restarted
+// from a checkpoint — outranking the cache tiers, which only see
+// whole-run results — and the cache-tier source otherwise.
+func (v *ckptView) sourceOr(cacheSource string) string {
+	if v != nil && v.resumes.Load() > 0 {
+		return "resumed"
+	}
+	return cacheSource
+}
+
+// count folds the view's tallies into the daemon-wide metrics.
+func (v *ckptView) count(m *metrics) {
+	if v == nil {
+		return
+	}
+	m.resumed.Add(v.resumes.Load())
+	m.saved.Add(v.saves.Load())
+}

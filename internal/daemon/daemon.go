@@ -35,6 +35,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -45,7 +46,9 @@ import (
 	"time"
 
 	"gpusecmem"
+	"gpusecmem/internal/checkpoint"
 	"gpusecmem/internal/report"
+	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/runner"
 )
 
@@ -75,6 +78,16 @@ type Config struct {
 	// settings. Size Workers down accordingly: each running simulation
 	// occupies Shards goroutines.
 	Shards int
+	// Checkpoints is the optional persistent machine-checkpoint store
+	// (nil disables checkpointing). With it, every fresh simulation
+	// resumes from the newest valid checkpoint of its lineage — so a
+	// longer-horizon request for a config served before simulates only
+	// the remaining cycles (source "resumed") — snapshots periodically,
+	// and checkpoints once more when a shutdown cancels it mid-run.
+	Checkpoints gpusecmem.CheckpointStore
+	// CheckpointEvery is the checkpoint interval in cycles (default
+	// 5000 when Checkpoints is set).
+	CheckpointEvery uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,9 @@ func (c Config) withDefaults() Config {
 	if c.MemCacheEntries == 0 {
 		c.MemCacheEntries = 256
 	}
+	if c.Checkpoints != nil && c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 5000
+	}
 	return c
 }
 
@@ -112,35 +128,63 @@ type metrics struct {
 	memHits   atomic.Uint64
 	diskHits  atomic.Uint64
 	simulated atomic.Uint64
+	resumed   atomic.Uint64 // simulations resumed from a checkpoint
+	saved     atomic.Uint64 // checkpoints written
 	running   atomic.Int64
 	queued    atomic.Int64
+	// Completed-run wall-time accounting, feeding the Retry-After
+	// estimate on 429s.
+	completed atomic.Uint64
+	wallMS    atomic.Uint64
 }
 
 // metricsSnapshot is the JSON view served by /healthz and expvar.
 type metricsSnapshot struct {
-	Requests  uint64 `json:"requests"`
-	Rejected  uint64 `json:"rejected"`
-	Failed    uint64 `json:"failed"`
-	Cancelled uint64 `json:"cancelled"`
-	MemHits   uint64 `json:"mem_hits"`
-	DiskHits  uint64 `json:"disk_hits"`
-	Simulated uint64 `json:"simulated"`
-	Running   int64  `json:"running"`
-	Queued    int64  `json:"queued"`
+	Requests      uint64  `json:"requests"`
+	Rejected      uint64  `json:"rejected"`
+	Failed        uint64  `json:"failed"`
+	Cancelled     uint64  `json:"cancelled"`
+	MemHits       uint64  `json:"mem_hits"`
+	DiskHits      uint64  `json:"disk_hits"`
+	Simulated     uint64  `json:"simulated"`
+	Resumed       uint64  `json:"resumed"`
+	Checkpointed  uint64  `json:"checkpointed"`
+	Running       int64   `json:"running"`
+	Queued        int64   `json:"queued"`
+	CompletedRuns uint64  `json:"completed_runs"`
+	MeanRunMS     float64 `json:"mean_run_ms"`
 }
 
 func (m *metrics) snapshot() metricsSnapshot {
-	return metricsSnapshot{
-		Requests:  m.requests.Load(),
-		Rejected:  m.rejected.Load(),
-		Failed:    m.failed.Load(),
-		Cancelled: m.cancelled.Load(),
-		MemHits:   m.memHits.Load(),
-		DiskHits:  m.diskHits.Load(),
-		Simulated: m.simulated.Load(),
-		Running:   m.running.Load(),
-		Queued:    m.queued.Load(),
+	s := metricsSnapshot{
+		Requests:      m.requests.Load(),
+		Rejected:      m.rejected.Load(),
+		Failed:        m.failed.Load(),
+		Cancelled:     m.cancelled.Load(),
+		MemHits:       m.memHits.Load(),
+		DiskHits:      m.diskHits.Load(),
+		Simulated:     m.simulated.Load(),
+		Resumed:       m.resumed.Load(),
+		Checkpointed:  m.saved.Load(),
+		Running:       m.running.Load(),
+		Queued:        m.queued.Load(),
+		CompletedRuns: m.completed.Load(),
 	}
+	if s.CompletedRuns > 0 {
+		s.MeanRunMS = float64(m.wallMS.Load()) / float64(s.CompletedRuns)
+	}
+	return s
+}
+
+// observeRun folds one completed request's simulation wall time into
+// the Retry-After estimate.
+func (m *metrics) observeRun(wall time.Duration) {
+	m.completed.Add(1)
+	ms := wall.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	m.wallMS.Add(uint64(ms))
 }
 
 // Server is the secmemd request handler plus its shared state. Create
@@ -203,7 +247,12 @@ func (s *Server) snapshotOrNil() any {
 	if s == nil {
 		return nil
 	}
-	return s.met.snapshot()
+	payload := map[string]any{
+		"metrics":       s.met.snapshot(),
+		"mem_cache_len": s.mem.len(),
+	}
+	s.storeStats(payload)
+	return payload
 }
 
 // Handler returns the daemon's route mux.
@@ -239,9 +288,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 	case s.admission <- struct{}{}:
 	default:
 		s.met.rejected.Add(1)
-		// The queue is sized in requests, not time; a one-second retry
-		// hint is honest for simulations that run for seconds.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		httpError(w, http.StatusTooManyRequests, "admission queue full (%d running + %d queued)",
 			s.cfg.Workers, s.cfg.QueueDepth)
 		return nil, nil, false
@@ -277,6 +324,30 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 		<-s.admission
 	}
 	return ctx, release, true
+}
+
+// retryAfter estimates (in whole seconds, clamped to [1, 60]) when a
+// rejected request is worth retrying: the backlog ahead of it —
+// everything running plus everything queued — divided across the
+// worker pool, at the observed mean simulation wall time. Before any
+// run has completed the estimate degrades to the old one-second hint.
+func (s *Server) retryAfter() string {
+	mean := time.Second
+	if n := s.met.completed.Load(); n > 0 {
+		mean = time.Duration(s.met.wallMS.Load()/n) * time.Millisecond
+	}
+	backlog := s.met.running.Load() + s.met.queued.Load()
+	if backlog < 1 {
+		backlog = 1
+	}
+	secs := int64(math.Ceil(mean.Seconds() * float64(backlog) / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // statusClientClosedRequest is nginx's 499: the client went away
@@ -426,13 +497,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	view := s.newView()
 	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles, Shards: s.cfg.Shards})
 	gctx.SetResultCache(view)
+	ckpt := s.armCheckpoints(gctx)
 
 	t0 := time.Now()
 	res, err := gctx.RunE(ctx, cfg, bench)
+	ckpt.count(&s.met)
 	if err != nil {
 		httpError(w, s.failStatus(err), "%v", err)
 		return
 	}
+	s.met.observeRun(time.Since(t0))
 	body, err := json.Marshal(res)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encode result: %v", err)
@@ -446,7 +520,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Benchmark: bench,
 		Scheme:    scheme,
 		Key:       runner.KeyDigest(gpusecmem.RunKey(cfg, bench)),
-		Source:    view.source(),
+		Source:    ckpt.sourceOr(view.source()),
 		WallMS:    float64(time.Since(t0).Microseconds()) / 1000,
 		Result:    body,
 	})
@@ -501,11 +575,14 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	view := s.newView()
 	gctx := gpusecmem.NewContext(opts)
 	gctx.SetResultCache(view)
+	ckpt := s.armCheckpoints(gctx)
 
 	// The runner gives us planning, panic recovery, and render-order
 	// determinism for free; one job keeps this request to its one
 	// admission slot.
+	t0 := time.Now()
 	rep := runner.Run(ctx, gctx, []gpusecmem.Experiment{e}, runner.Options{Jobs: 1})
+	ckpt.count(&s.met)
 	if rep.Aborted {
 		httpError(w, s.failStatus(ctx.Err()), "experiment aborted: %v", ctx.Err())
 		return
@@ -515,6 +592,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		httpError(w, s.failStatus(res.Err), "experiment %s: %v", id, res.Err)
 		return
 	}
+	s.met.observeRun(time.Since(t0))
 	view.count(&s.met)
 
 	switch format {
@@ -523,7 +601,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	w.Header().Set("X-Run-Source", view.source())
+	w.Header().Set("X-Run-Source", ckpt.sourceOr(view.source()))
 	fmt.Fprintf(w, "# %s\n# paper: %s\n", e.Title, e.PaperFinding)
 	for _, t := range res.Tables {
 		if err := t.Write(w, format); err != nil {
@@ -539,12 +617,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(map[string]any{
+	payload := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.cfg.Workers,
 		"queue_depth":    s.cfg.QueueDepth,
 		"metrics":        s.met.snapshot(),
 		"mem_cache_len":  s.mem.len(),
-	})
+	}
+	s.storeStats(payload)
+	enc.Encode(payload)
+}
+
+// storeStats adds the persistent stores' own counters (hits, misses,
+// puts, self-heal errors) to a healthz/expvar payload when the
+// configured implementations expose them — the on-disk stores do;
+// test doubles need not.
+func (s *Server) storeStats(payload map[string]any) {
+	if cs, ok := s.cfg.Cache.(interface{ Stats() resultcache.Stats }); ok {
+		payload["result_cache"] = cs.Stats()
+	}
+	if ks, ok := s.cfg.Checkpoints.(interface{ Stats() checkpoint.Stats }); ok {
+		payload["checkpoint_store"] = ks.Stats()
+	}
 }

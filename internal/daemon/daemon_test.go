@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"gpusecmem"
+	"gpusecmem/internal/checkpoint"
 	"gpusecmem/internal/resultcache"
 )
 
@@ -355,5 +357,88 @@ func TestMemCacheLRU(t *testing.T) {
 	disabled.put("x", resA)
 	if _, ok := disabled.get("x"); ok {
 		t.Fatal("disabled cache served a hit")
+	}
+}
+
+// TestIncrementalServing drives the horizon-extension story: a short
+// run leaves a final checkpoint, and a later, longer request — here to
+// a freshly restarted daemon sharing only the checkpoint directory —
+// resumes from it instead of simulating from cycle 0, reports
+// source=resumed, and still returns a result byte-identical to an
+// uninterrupted full-horizon simulation.
+func TestIncrementalServing(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Checkpoints: store, CheckpointEvery: 1000})
+
+	var short struct {
+		Source string `json:"source"`
+	}
+	if code := getJSON(t, ts.URL+"/api/run?bench=nw&scheme=ctr_mac_bmt&cycles=2000", &short); code != 200 {
+		t.Fatalf("short run: status %d", code)
+	}
+	if short.Source != "simulated" {
+		t.Fatalf("short run source = %q, want simulated", short.Source)
+	}
+
+	// "Restart": a new daemon with no caches, same checkpoint store.
+	store2, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServer(t, Config{Checkpoints: store2, CheckpointEvery: 1000})
+	var long struct {
+		Source string          `json:"source"`
+		Result json.RawMessage `json:"result"`
+	}
+	if code := getJSON(t, ts2.URL+"/api/run?bench=nw&scheme=ctr_mac_bmt&cycles=6000", &long); code != 200 {
+		t.Fatalf("long run: status %d", code)
+	}
+	if long.Source != "resumed" {
+		t.Fatalf("long run source = %q, want resumed", long.Source)
+	}
+
+	cfg, err := gpusecmem.ConfigForScheme("ctr_mac_bmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxCycles = 6000
+	want, err := gpusecmem.Simulate(cfg, "nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJSON bytes.Buffer
+	if err := json.Compact(&gotJSON, long.Result); err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON.String() != string(wantJSON) {
+		t.Fatal("resumed daemon result differs from an uninterrupted simulation")
+	}
+
+	// The checkpoint store's counters surface in /healthz.
+	var h struct {
+		Checkpoints *struct {
+			Hits uint64 `json:"hits"`
+			Puts uint64 `json:"puts"`
+		} `json:"checkpoint_store"`
+		Metrics struct {
+			Resumed uint64 `json:"resumed"`
+		} `json:"metrics"`
+	}
+	if code := getJSON(t, ts2.URL+"/healthz", &h); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h.Checkpoints == nil || h.Checkpoints.Hits == 0 || h.Checkpoints.Puts == 0 {
+		t.Fatalf("healthz checkpoint_store stats missing or empty: %+v", h.Checkpoints)
+	}
+	if h.Metrics.Resumed == 0 {
+		t.Fatal("healthz metrics.resumed not bumped by the resumed run")
 	}
 }

@@ -181,6 +181,45 @@ func clearTail[T any](s []entry[T]) {
 	}
 }
 
+// Delayed is one undelivered queue item in a checkpoint snapshot:
+// the item together with its absolute ready cycle.
+type Delayed[T any] struct {
+	ReadyAt uint64
+	Item    T
+}
+
+// Snapshot returns the undelivered items — items[head:] with their
+// absolute ready cycles — as a fresh slice sharing nothing with the
+// queue. Restoring it into an empty queue reproduces delivery exactly:
+// PopReady and DrainThrough only ever consume from the head, so the
+// consumed prefix carries no future behavior, and head-blocking (an
+// item behind a later-ready head waits for it) depends only on the
+// order and ready cycles of the remaining items, which the snapshot
+// preserves verbatim.
+func (q *DelayQueue[T]) Snapshot() []Delayed[T] {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	out := make([]Delayed[T], 0, len(q.items)-q.head)
+	for _, e := range q.items[q.head:] {
+		out = append(out, Delayed[T]{ReadyAt: e.readyAt, Item: e.item})
+	}
+	return out
+}
+
+// Restore replaces the queue's contents with the given snapshot and
+// statistics. The latency and any installed tap are kept; the scratch
+// buffer is reset.
+func (q *DelayQueue[T]) Restore(items []Delayed[T], stats Stats) {
+	q.items = q.items[:0]
+	for _, d := range items {
+		q.items = append(q.items, entry[T]{readyAt: d.ReadyAt, item: d.Item})
+	}
+	q.head = 0
+	q.out = nil
+	q.Stats = stats
+}
+
 // NextReady returns the cycle at which the head item becomes ready, or
 // ^uint64(0) when the queue is empty. Because PopReady only ever
 // delivers from the head, this is exactly the next cycle a PopReady

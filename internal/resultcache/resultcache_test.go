@@ -2,6 +2,7 @@ package resultcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -93,6 +94,81 @@ func TestCorruptEntrySelfHeals(t *testing.T) {
 	c.Put(key, res)
 	if _, ok := c.Get(key); !ok {
 		t.Fatal("miss after repair Put")
+	}
+}
+
+// The torn-write table: entries truncated at arbitrary byte offsets —
+// what a crashed writer or interrupted copy leaves — and entries with
+// corruption in the envelope region must all read as a clean miss, be
+// removed, and bump the error counter. (Unlike the checkpoint store,
+// result entries carry no payload checksum: truncation at any offset
+// breaks the gob stream, and envelope corruption trips the schema/key
+// checks, but the test deliberately confines bit flips to the envelope
+// region.)
+func TestTornWritesSelfHeal(t *testing.T) {
+	res := simulate(t, 1000)
+	const key = "torn|nw"
+
+	type corruption struct {
+		name string
+		mut  func([]byte) []byte
+	}
+	var cases []corruption
+	for _, frac := range []struct {
+		name string
+		at   func(n int) int
+	}{
+		{"start", func(n int) int { return 1 }},
+		{"quarter", func(n int) int { return n / 4 }},
+		{"half", func(n int) int { return n / 2 }},
+		{"almost-all", func(n int) int { return n - 1 }},
+	} {
+		frac := frac
+		cases = append(cases, corruption{"truncate-" + frac.name, func(b []byte) []byte {
+			return b[:frac.at(len(b))]
+		}})
+	}
+	for _, off := range []int{4, 16, 32} {
+		off := off
+		cases = append(cases, corruption{fmt.Sprintf("bitflip-envelope-%d", off), func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[off] ^= 0x40
+			return out
+		}})
+	}
+	cases = append(cases, corruption{"empty", func([]byte) []byte { return nil }})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Put(key, res)
+			path := c.path(key)
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(b), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get(key); ok {
+				t.Fatal("served a corrupt entry")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not removed (stat err %v)", err)
+			}
+			st := c.Stats()
+			if st.Errors != 1 || st.Misses != 1 {
+				t.Fatalf("stats = %+v, want 1 error + 1 miss", st)
+			}
+			// A re-Put repairs the slot.
+			c.Put(key, res)
+			if _, ok := c.Get(key); !ok {
+				t.Fatal("miss after repair Put")
+			}
+		})
 	}
 }
 

@@ -80,6 +80,15 @@ type GPU struct {
 	// probe carries the observability instruments; nil on the
 	// (zero-cost) unprobed path.
 	probe *probe.State
+	// Checkpointing (DESIGN.md §14): every ckptEvery cycles the run
+	// loop snapshots the machine at an end-of-cycle boundary and hands
+	// the state to ckptSink; ckptLast suppresses duplicate snapshots
+	// when the loop lands on the same cycle twice. Inert (nil sink)
+	// unless SetCheckpoint armed it.
+	ckptEvery uint64
+	ckptSink  func(cycle uint64, st *MachineState)
+	ckptLast  uint64
+
 	// completedLoads counts retirements; with issued instructions it
 	// forms the watchdog's forward-progress metric.
 	completedLoads uint64
@@ -385,10 +394,52 @@ func (g *GPU) nextInteresting() uint64 {
 			}
 		}
 	}
+	if g.ckptSink != nil {
+		// Land exactly on checkpoint cycles, like the watchdog and
+		// probe-timeline caps; the landing step is a no-op for an idle
+		// machine, so resumability costs no timing fidelity.
+		if b := (g.now/g.ckptEvery + 1) * g.ckptEvery; b < next {
+			next = b
+		}
+	}
 	if next <= g.now {
 		next = g.now + 1
 	}
 	return next
+}
+
+// SetCheckpoint arms periodic checkpointing: every `every` cycles (and
+// at run completion or cancellation) the run loop snapshots the
+// machine and calls sink(cycle, state). The call is a no-op — the run
+// stays checkpoint-free — when every is 0, sink is nil, or the
+// configuration is not checkpointable (fault injection, probes,
+// auditing, reuse profiling; see Snapshot). Arm it before Run; the
+// sink runs on the simulation goroutine.
+func (g *GPU) SetCheckpoint(every uint64, sink func(cycle uint64, st *MachineState)) {
+	if every == 0 || sink == nil || g.checkpointable() != nil {
+		return
+	}
+	g.ckptEvery = every
+	g.ckptSink = sink
+}
+
+// maybeCheckpoint snapshots the machine for the armed sink. With
+// force it fires at any cycle (run completion, cancellation); without
+// it only on ckptEvery multiples. Cycle 0 (nothing simulated) and the
+// cycle of the previous snapshot are never re-snapshotted.
+func (g *GPU) maybeCheckpoint(force bool) {
+	if g.ckptSink == nil || g.now == 0 || g.now == g.ckptLast {
+		return
+	}
+	if !force && g.now%g.ckptEvery != 0 {
+		return
+	}
+	st, err := g.Snapshot()
+	if err != nil {
+		return
+	}
+	g.ckptLast = g.now
+	g.ckptSink(g.now, st)
 }
 
 // fastForward advances g.now to just before the next interesting
@@ -455,9 +506,15 @@ func (g *GPU) RunContext(ctx context.Context) (*Result, error) {
 		if err := g.checkWatchdog(); err != nil {
 			return nil, err
 		}
+		if g.ckptSink != nil {
+			g.maybeCheckpoint(false)
+		}
 		if done != nil && g.stepped&cancelCheckMask == 0 {
 			select {
 			case <-done:
+				// Snapshot before abandoning the run so a drain or kill
+				// loses at most the work since the last boundary.
+				g.maybeCheckpoint(true)
 				return nil, ctx.Err()
 			default:
 			}
@@ -471,6 +528,9 @@ func (g *GPU) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
+	// A final checkpoint at the horizon lets a later, longer-horizon
+	// run resume from here instead of cycle 0.
+	g.maybeCheckpoint(true)
 	return g.collect(), nil
 }
 

@@ -237,6 +237,17 @@ func (g *GPU) runParallel(ctx context.Context) (*Result, error) {
 		if fire < next {
 			next = fire
 		}
+		// Cap windows at checkpoint cycles exactly like the watchdog
+		// fire cycle, so snapshots land on a merge barrier — the
+		// parallel engine's only consistent (and sequential-identical)
+		// state point.
+		bound := ^uint64(0)
+		if g.ckptSink != nil {
+			bound = (T/g.ckptEvery + 1) * g.ckptEvery
+		}
+		if bound < next {
+			next = bound
+		}
 		if next > maxC {
 			// Nothing left before the horizon: idle out the rest.
 			g.now = maxC
@@ -251,6 +262,9 @@ func (g *GPU) runParallel(ctx context.Context) (*Result, error) {
 		}
 		if E > fire {
 			E = fire
+		}
+		if E > bound {
+			E = bound
 		}
 
 		// Pre-drain both queues through E. Deliveries land in
@@ -310,17 +324,25 @@ func (g *GPU) runParallel(ctx context.Context) (*Result, error) {
 		if err := g.checkWatchdog(); err != nil {
 			return nil, err
 		}
+		if g.ckptSink != nil {
+			// The barrier is a consistent point: staging buffers and
+			// inboxes are empty, so the snapshot equals the sequential
+			// engine's state at the end of cycle E.
+			g.maybeCheckpoint(false)
+		}
 		g.parallelWindows++
 		windows++
 		if done != nil && windows&63 == 0 {
 			select {
 			case <-done:
+				g.maybeCheckpoint(true)
 				return nil, ctx.Err()
 			default:
 			}
 		}
 		T = E
 	}
+	g.maybeCheckpoint(true)
 	return g.collect(), nil
 }
 

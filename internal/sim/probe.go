@@ -140,7 +140,7 @@ func (g *GPU) sampleProbe() {
 	tot.RequestsByKind = make([]uint64, numKinds)
 	var inst probe.Instant
 	for _, sm := range g.sms {
-		instr, _, _, blocked := sm.Snapshot()
+		instr, _, _, blocked := sm.Counters()
 		tot.Instructions += instr
 		inst.BlockedWarps += blocked
 	}

@@ -12,6 +12,8 @@
 // concurrency at all.
 package smcore
 
+import "fmt"
+
 // WarpOp is one generator-produced step of a warp: a batch of compute
 // instructions followed by an optional memory operation.
 type WarpOp struct {
@@ -238,11 +240,89 @@ func (s *SM) Complete(w int, now uint64) {
 	}
 }
 
-// Snapshot returns the SM's cumulative issue counters plus its
+// Counters returns the SM's cumulative issue counters plus its
 // instantaneous blocked-warp count in one call — the probe timeline's
 // per-SM sampling hook.
-func (s *SM) Snapshot() (instructions, stalls, memOps uint64, blockedWarps int) {
+func (s *SM) Counters() (instructions, stalls, memOps uint64, blockedWarps int) {
 	return s.Instructions, s.Stalls, s.MemOps, s.BlockedWarps()
+}
+
+// WarpState mirrors one warp's scheduler state in a checkpoint
+// snapshot. Op is stored verbatim (post-normalization, Sectors
+// deep-copied) so Restore must not re-run loadOp's normalization.
+type WarpState struct {
+	Iter        int
+	Op          WarpOp
+	Phase       int
+	ComputeLeft int
+	ReadyAt     uint64
+	Outstanding int
+	LastIssued  uint64
+}
+
+// State is a complete, detached snapshot of an SM.
+type State struct {
+	Warps        []WarpState
+	Greedy       int
+	Instructions uint64
+	Stalls       uint64
+	MemOps       uint64
+}
+
+// Snapshot captures the SM's full behavioral state. The result shares
+// no memory with the SM (warp Sectors slices are deep-copied).
+func (s *SM) Snapshot() *State {
+	st := &State{
+		Warps:        make([]WarpState, len(s.warps)),
+		Greedy:       s.greedy,
+		Instructions: s.Instructions,
+		Stalls:       s.Stalls,
+		MemOps:       s.MemOps,
+	}
+	for w := range s.warps {
+		ws := &s.warps[w]
+		op := ws.op
+		op.Sectors = append([]uint64(nil), ws.op.Sectors...)
+		st.Warps[w] = WarpState{
+			Iter:        ws.iter,
+			Op:          op,
+			Phase:       int(ws.phase),
+			ComputeLeft: ws.computeLeft,
+			ReadyAt:     ws.readyAt,
+			Outstanding: ws.outstanding,
+			LastIssued:  ws.lastIssued,
+		}
+	}
+	return st
+}
+
+// Restore replaces the SM's state with a snapshot taken from an SM of
+// identical shape (same generator and warp count). The stored WarpOp
+// is installed verbatim — it was already normalized by loadOp when the
+// snapshot was taken.
+func (s *SM) Restore(st *State) error {
+	if len(st.Warps) != len(s.warps) {
+		return fmt.Errorf("smcore: snapshot has %d warps, SM has %d", len(st.Warps), len(s.warps))
+	}
+	for w := range st.Warps {
+		sw := &st.Warps[w]
+		op := sw.Op
+		op.Sectors = append([]uint64(nil), sw.Op.Sectors...)
+		s.warps[w] = warpState{
+			iter:        sw.Iter,
+			op:          op,
+			phase:       warpPhase(sw.Phase),
+			computeLeft: sw.ComputeLeft,
+			readyAt:     sw.ReadyAt,
+			outstanding: sw.Outstanding,
+			lastIssued:  sw.LastIssued,
+		}
+	}
+	s.greedy = st.Greedy
+	s.Instructions = st.Instructions
+	s.Stalls = st.Stalls
+	s.MemOps = st.MemOps
+	return nil
 }
 
 // BlockedWarps reports how many warps are waiting on memory.
