@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet doc-lint build test race race-full smoke bench gobench results audit fuzz daemon
+.PHONY: verify vet doc-lint build test race race-full smoke bench gobench results audit fuzz daemon perf-gate
 
 ## verify: vet + doc-lint + build + full test suite + CLI smoke run (tier-1 gate)
 verify: vet doc-lint build test smoke
@@ -46,6 +46,13 @@ smoke:
 ## writes BENCH_PR6.json with the PR4 reference embedded.
 bench:
 	$(GO) run ./cmd/perfbench -baseline BENCH_PR4.json -out BENCH_PR6.json
+
+## perf-gate: quick perfbench run diffed against the committed
+## BENCH_PR6.json baseline — exits nonzero when any case regresses
+## past the threshold (the CI regression gate; thresholds are loose
+## because baselines come from a different host).
+perf-gate:
+	$(GO) run ./cmd/perfbench -quick -out /tmp/perfgate.json -compare BENCH_PR6.json -compare-threshold 0.25
 
 ## gobench: package micro-benchmarks via go test
 gobench:

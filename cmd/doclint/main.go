@@ -56,6 +56,7 @@ var contractRequired = map[string]bool{
 	"internal/sim":         true,
 	"internal/smcore":      true,
 	"internal/stats":       true,
+	"internal/telemetry":   true,
 	"internal/trace":       true,
 }
 

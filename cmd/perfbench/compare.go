@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+// regression is one case that fell below the comparison threshold.
+type regression struct {
+	Name string
+	// Metric is "cycles_per_sec" or "steady_allocs_per_kcycle".
+	Metric string
+	// Current and Baseline are the two measurements; Ratio is
+	// current/baseline for throughput (lower is worse) and
+	// baseline-relative growth for the alloc slope (higher is worse).
+	Current, Baseline, Ratio float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s %.0f vs baseline %.0f (ratio %.2f)",
+		r.Name, r.Metric, r.Current, r.Baseline, r.Ratio)
+}
+
+// allocSlopeSlack is the multiplicative headroom the steady-allocs
+// check allows before flagging: the committed slopes range from a few
+// hundred to a few thousand allocs/kcycle and wobble with GC timing,
+// so only a growth beyond 2x (plus an absolute floor of 64 for
+// near-zero baselines) counts as a regression.
+const (
+	allocSlopeFactor = 2.0
+	allocSlopeFloor  = 64.0
+)
+
+// compareRuns diffs a fresh measurement against a committed baseline.
+// threshold is the minimum acceptable cycles/sec ratio
+// current/baseline — 0.5 means "fail if the new tree runs at less
+// than half the recorded throughput". Thresholds are deliberately
+// loose: baselines are recorded on one host and CI runs on another,
+// so the gate catches order-of-magnitude regressions (an accidental
+// O(n^2), an allocation storm), not single-digit drift. Cases present
+// in only one file are skipped — the grid may grow between PRs.
+func compareRuns(curr, base []RunResult, threshold float64) []regression {
+	byName := make(map[string]RunResult, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var regs []regression
+	for _, c := range curr {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if b.CyclesPerSec > 0 && c.CyclesPerSec > 0 {
+			ratio := c.CyclesPerSec / b.CyclesPerSec
+			if ratio < threshold {
+				regs = append(regs, regression{
+					Name:     c.Name,
+					Metric:   "cycles_per_sec",
+					Current:  c.CyclesPerSec,
+					Baseline: b.CyclesPerSec,
+					Ratio:    ratio,
+				})
+			}
+		}
+		// The alloc slope is near-deterministic on one host but the
+		// absolute values differ across Go versions; flag only clear
+		// growth.
+		limit := b.SteadyAllocsPerKCycle*allocSlopeFactor + allocSlopeFloor
+		if c.SteadyAllocsPerKCycle > limit {
+			ratio := 0.0
+			if b.SteadyAllocsPerKCycle > 0 {
+				ratio = c.SteadyAllocsPerKCycle / b.SteadyAllocsPerKCycle
+			}
+			regs = append(regs, regression{
+				Name:     c.Name,
+				Metric:   "steady_allocs_per_kcycle",
+				Current:  c.SteadyAllocsPerKCycle,
+				Baseline: b.SteadyAllocsPerKCycle,
+				Ratio:    ratio,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func run(name string, cps, slope float64) RunResult {
+	return RunResult{Name: name, CyclesPerSec: cps, SteadyAllocsPerKCycle: slope}
+}
+
+func TestCompareRunsPasses(t *testing.T) {
+	base := []RunResult{run("a/x", 10000, 500), run("b/y", 20000, 1000)}
+	curr := []RunResult{run("a/x", 9000, 550), run("b/y", 30000, 900)}
+	if regs := compareRuns(curr, base, 0.5); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+}
+
+func TestCompareRunsFlagsThroughputRegression(t *testing.T) {
+	base := []RunResult{run("a/x", 10000, 500)}
+	// Injected regression: throughput drops to 30% of baseline.
+	curr := []RunResult{run("a/x", 3000, 500)}
+	regs := compareRuns(curr, base, 0.5)
+	if len(regs) != 1 {
+		t.Fatalf("expected 1 regression, got %v", regs)
+	}
+	if regs[0].Metric != "cycles_per_sec" || regs[0].Name != "a/x" {
+		t.Fatalf("unexpected regression: %v", regs[0])
+	}
+	if got, want := regs[0].Ratio, 0.3; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("ratio = %v, want %v", got, want)
+	}
+}
+
+func TestCompareRunsFlagsAllocGrowth(t *testing.T) {
+	base := []RunResult{run("a/x", 10000, 500)}
+	// Allocation storm: slope grows past 2x + floor.
+	curr := []RunResult{run("a/x", 10000, 500*allocSlopeFactor+allocSlopeFloor+1)}
+	regs := compareRuns(curr, base, 0.5)
+	if len(regs) != 1 || regs[0].Metric != "steady_allocs_per_kcycle" {
+		t.Fatalf("expected one alloc-slope regression, got %v", regs)
+	}
+}
+
+func TestCompareRunsAllocSlack(t *testing.T) {
+	base := []RunResult{run("a/x", 10000, 500)}
+	// Within the 2x+floor envelope: not a regression.
+	curr := []RunResult{run("a/x", 10000, 500*allocSlopeFactor+allocSlopeFloor-1)}
+	if regs := compareRuns(curr, base, 0.5); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+	// A near-zero baseline gets the absolute floor, so GC wobble on a
+	// zero-alloc loop cannot trip the gate.
+	base = []RunResult{run("b/y", 10000, 0)}
+	curr = []RunResult{run("b/y", 10000, allocSlopeFloor/2)}
+	if regs := compareRuns(curr, base, 0.5); len(regs) != 0 {
+		t.Fatalf("expected no regressions for sub-floor slope, got %v", regs)
+	}
+}
+
+func TestCompareRunsSkipsUnmatchedCases(t *testing.T) {
+	base := []RunResult{run("a/x", 10000, 500)}
+	curr := []RunResult{run("new/case", 1, 1e6)} // no baseline entry
+	if regs := compareRuns(curr, base, 0.5); len(regs) != 0 {
+		t.Fatalf("unmatched case must be skipped, got %v", regs)
+	}
+}
+
+func TestCompareRunsDeterministicOrder(t *testing.T) {
+	base := []RunResult{run("b/y", 10000, 0), run("a/x", 10000, 0)}
+	curr := []RunResult{run("b/y", 100, 0), run("a/x", 100, 0)}
+	regs := compareRuns(curr, base, 0.5)
+	if len(regs) != 2 || regs[0].Name != "a/x" || regs[1].Name != "b/y" {
+		t.Fatalf("expected name-sorted regressions, got %v", regs)
+	}
+}

@@ -17,10 +17,19 @@
 //	perfbench -out BENCH_PR6.json                  # full measurement
 //	perfbench -quick -out /tmp/bench.json          # CI smoke (short)
 //	perfbench -baseline BENCH_PR4.json -out BENCH_PR6.json  # embed reference + speedups
+//	perfbench -quick -compare BENCH_PR6.json       # CI perf gate: exit 1 on regression
 //
 // Comparing two files: run perfbench on the old tree with -out
 // old.json, then on the new tree with `-baseline old.json`; the output
 // then carries the reference runs and per-case cycles/sec speedups.
+//
+// The -compare flag is the CI regression gate: it diffs the fresh
+// measurements against a committed baseline file and exits nonzero
+// when any case's cycles/sec falls below -compare-threshold times the
+// recorded value, or its steady allocation slope clearly grows.
+// Thresholds default loose (0.5) because baselines are recorded on a
+// different host than CI runs on; the gate exists to catch
+// order-of-magnitude regressions, not single-digit drift.
 package main
 
 import (
@@ -174,6 +183,8 @@ func main() {
 		baseline = flag.String("baseline", "", "reference perfbench JSON to embed and compare against")
 		cycles   = flag.Uint64("cycles", 4000, "simulated cycles per throughput op")
 		quick    = flag.Bool("quick", false, "CI smoke: three-case subset (incl. one sharded point), short runs")
+		compare  = flag.String("compare", "", "committed perfbench JSON to gate against: exit 1 when any case regresses past -compare-threshold")
+		compThr  = flag.Float64("compare-threshold", 0.5, "minimum acceptable cycles/sec ratio current/baseline for -compare")
 	)
 	flag.Parse()
 
@@ -260,11 +271,38 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d cases)\n", *out, len(f.Runs))
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(1)
+
+	// The regression gate: diff this run against a committed baseline
+	// and fail the process when any case fell past the threshold. Runs
+	// after the output is written so a failing gate still leaves the
+	// fresh measurements behind as a CI artifact.
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		var ref File
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench: parsing compare baseline:", err)
+			os.Exit(1)
+		}
+		regs := compareRuns(f.Runs, ref.Runs, *compThr)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "perfbench: %d regression(s) vs %s (threshold %.2f):\n", len(regs), *compare, *compThr)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "perfbench:   %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: no regressions vs %s (threshold %.2f, %d cases compared)\n",
+			*compare, *compThr, len(f.Runs))
 	}
-	fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d cases)\n", *out, len(f.Runs))
 }

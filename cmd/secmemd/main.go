@@ -10,6 +10,13 @@
 //	curl 'localhost:8080/api/run?bench=nw&scheme=ctr_mac_bmt&cycles=3000'
 //	curl 'localhost:8080/api/experiment/fig8?format=csv&cycles=6000'
 //	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//
+// Every request is logged (one structured line via log/slog; pick
+// -log-format json for machine ingestion, -log-level debug to include
+// scrape routes) and tagged with a trace ID that appears on the
+// X-Secmem-Trace-Id response header, in the log line, and in any JSON
+// error body.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
 // in-flight requests get -drain to finish, then remaining simulations
@@ -30,6 +37,7 @@ import (
 	"gpusecmem/internal/checkpoint"
 	"gpusecmem/internal/daemon"
 	"gpusecmem/internal/resultcache"
+	"gpusecmem/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +53,16 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "persist mid-run machine checkpoints in this directory; longer-horizon requests resume instead of restarting, and shutdown checkpoints in-flight runs")
 		ckptN    = flag.Uint64("checkpoint-every", 5000, "checkpoint interval in cycles (with -checkpoint-dir)")
 		grace    = flag.Duration("abort-grace", 5*time.Second, "post-abort budget for cancelled handlers to flush (after -drain expires)")
+		logFmt   = flag.String("log-format", "text", "request log format: text|json")
+		logLvl   = flag.String("log-level", "info", "request log level: debug|info|warn|error (scrape routes log at debug)")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFmt, *logLvl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	cfg := daemon.Config{
 		Workers:         *workers,
@@ -54,6 +70,7 @@ func main() {
 		RequestTimeout:  *timeout,
 		MemCacheEntries: *memCap,
 		Shards:          *shards,
+		Logger:          logger,
 	}
 	if *cacheDir != "" {
 		disk, err := resultcache.Open(*cacheDir)
@@ -62,7 +79,7 @@ func main() {
 			os.Exit(1)
 		}
 		cfg.Cache = disk
-		fmt.Fprintf(os.Stderr, "secmemd: result cache at %s (%d entries)\n", disk.Dir(), disk.Len())
+		logger.Info("result cache open", "dir", disk.Dir(), "entries", disk.Len())
 	}
 	if *ckptDir != "" {
 		store, err := checkpoint.Open(*ckptDir)
@@ -72,8 +89,7 @@ func main() {
 		}
 		cfg.Checkpoints = store
 		cfg.CheckpointEvery = *ckptN
-		fmt.Fprintf(os.Stderr, "secmemd: checkpoint store at %s (%d checkpoints, every %d cycles)\n",
-			store.Dir(), store.Len(), *ckptN)
+		logger.Info("checkpoint store open", "dir", store.Dir(), "entries", store.Len(), "every_cycles", *ckptN)
 	}
 	d := daemon.New(cfg)
 
@@ -83,7 +99,8 @@ func main() {
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: d.Handler()}
-	fmt.Fprintf(os.Stderr, "secmemd: serving http://%s/ (/api/catalogue, /api/run, /api/experiment/{id}, /healthz)\n", ln.Addr())
+	logger.Info("serving", "addr", fmt.Sprintf("http://%s/", ln.Addr()),
+		"routes", "/api/catalogue /api/run /api/experiment/{id} /healthz /metrics")
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -98,7 +115,7 @@ func main() {
 	}
 	stop() // a second signal kills the process the usual way
 
-	fmt.Fprintf(os.Stderr, "secmemd: shutting down (draining up to %s)\n", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -106,7 +123,7 @@ func main() {
 		// handlers return — each checkpointed run snapshots on the way
 		// out, so a restart resumes it — then close whatever is left
 		// after -abort-grace.
-		fmt.Fprintln(os.Stderr, "secmemd: drain expired, cancelling in-flight runs")
+		logger.Warn("drain expired, cancelling in-flight runs")
 		d.Abort()
 		abortCtx, cancel2 := context.WithTimeout(context.Background(), *grace)
 		defer cancel2()
@@ -114,5 +131,5 @@ func main() {
 			srv.Close()
 		}
 	}
-	fmt.Fprintln(os.Stderr, "secmemd: bye")
+	logger.Info("bye")
 }

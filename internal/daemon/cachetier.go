@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpusecmem"
 )
@@ -77,7 +78,7 @@ type cacheView struct {
 	mem  *memCache
 	disk gpusecmem.ResultCache // nil when the daemon has no -cache-dir
 
-	memHits, diskHits, puts atomic.Uint64
+	memHits, memMisses, diskHits, diskMisses, puts atomic.Uint64
 }
 
 func (s *Server) newView() *cacheView {
@@ -89,12 +90,14 @@ func (v *cacheView) Get(key string) (*gpusecmem.Result, bool) {
 		v.memHits.Add(1)
 		return res, true
 	}
+	v.memMisses.Add(1)
 	if v.disk != nil {
 		if res, ok := v.disk.Get(key); ok {
 			v.diskHits.Add(1)
 			v.mem.put(key, res)
 			return res, true
 		}
+		v.diskMisses.Add(1)
 	}
 	return nil, false
 }
@@ -121,11 +124,15 @@ func (v *cacheView) source() string {
 	}
 }
 
-// count folds the view's tallies into the daemon-wide metrics.
-func (v *cacheView) count(m *metrics) {
-	m.memHits.Add(v.memHits.Load())
-	m.diskHits.Add(v.diskHits.Load())
-	m.simulated.Add(v.puts.Load())
+// count folds the view's tallies into the registry's cache-tier
+// counters. Local atomics exist only for per-request source
+// attribution; the registry is the durable surface.
+func (v *cacheView) count() {
+	met.memHits.Add(v.memHits.Load())
+	met.memMisses.Add(v.memMisses.Load())
+	met.diskHits.Add(v.diskHits.Load())
+	met.diskMisses.Add(v.diskMisses.Load())
+	met.simulated.Add(v.puts.Load())
 }
 
 // ckptView is a per-request gpusecmem.CheckpointStore over the shared
@@ -153,7 +160,9 @@ func (s *Server) armCheckpoints(gctx *gpusecmem.Context) *ckptView {
 }
 
 func (v *ckptView) Latest(key string, maxCycle uint64) (uint64, []byte, bool) {
+	t0 := time.Now()
 	cycle, state, ok := v.store.Latest(key, maxCycle)
+	met.ckptRestoreUs.ObserveSince(t0)
 	if ok {
 		v.resumes.Add(1)
 	}
@@ -162,7 +171,10 @@ func (v *ckptView) Latest(key string, maxCycle uint64) (uint64, []byte, bool) {
 
 func (v *ckptView) Put(key string, cycle uint64, state []byte) error {
 	v.saves.Add(1)
-	return v.store.Put(key, cycle, state)
+	t0 := time.Now()
+	err := v.store.Put(key, cycle, state)
+	met.ckptSaveUs.ObserveSince(t0)
+	return err
 }
 
 // sourceOr returns "resumed" when this request's simulation restarted
@@ -175,11 +187,12 @@ func (v *ckptView) sourceOr(cacheSource string) string {
 	return cacheSource
 }
 
-// count folds the view's tallies into the daemon-wide metrics.
-func (v *ckptView) count(m *metrics) {
+// count folds the view's tallies into the registry's checkpoint
+// counters.
+func (v *ckptView) count() {
 	if v == nil {
 		return
 	}
-	m.resumed.Add(v.resumes.Load())
-	m.saved.Add(v.saves.Load())
+	met.resumed.Add(v.resumes.Load())
+	met.saved.Add(v.saves.Load())
 }

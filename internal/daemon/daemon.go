@@ -13,6 +13,7 @@
 //	GET /api/run                   one (scheme, benchmark) simulation as JSON
 //	GET /api/experiment/{id}       a paper table/figure, rendered text|csv|md
 //	GET /healthz                   liveness + counters
+//	GET /metrics                   Prometheus text-format exposition
 //	GET /progress, /debug/...      the sweep debug layer (expvar, pprof)
 //
 // Admission is bounded: at most Workers simulations run concurrently
@@ -20,13 +21,24 @@
 // immediately with 429 and a Retry-After hint, so a burst degrades to
 // fast failures instead of unbounded goroutine pile-up.
 //
+// Telemetry: every request is assigned a trace ID at admission
+// (honoring a valid inbound X-Secmem-Trace-Id), which rides the
+// request context through the cache tiers, the runner, and the
+// simulator's cancellation context, and appears on the response
+// header, in every log line (via telemetry.ContextHandler), and in
+// every JSON error body. All counters live in the process-wide
+// telemetry registry; /healthz, the gpusecmem_daemon expvar, and
+// /metrics are views over the same instruments (see DESIGN.md
+// "Serving telemetry").
+//
 // Concurrency and aliasing contract: a Server's handlers run on
 // arbitrarily many goroutines; all cross-request state is either
-// immutable after New (config, mux), channel-based (the admission and
-// worker semaphores), atomic (metrics), or internally locked (the
-// memCache LRU). Cached *Result values are shared between requests
-// and must be treated as immutable by everything downstream — render,
-// encode, but never mutate.
+// immutable after New (config, mux, logger), channel-based (the
+// admission and worker semaphores), atomic (the telemetry registry's
+// instruments), or internally locked (the memCache LRU). Cached
+// *Result values are shared between requests and must be treated as
+// immutable by everything downstream — render, encode, but never
+// mutate.
 package daemon
 
 import (
@@ -35,6 +47,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/url"
@@ -42,7 +55,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"gpusecmem"
@@ -50,6 +62,7 @@ import (
 	"gpusecmem/internal/report"
 	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/runner"
+	"gpusecmem/internal/telemetry"
 )
 
 // Config controls a daemon Server.
@@ -88,6 +101,10 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in cycles (default
 	// 5000 when Checkpoints is set).
 	CheckpointEvery uint64
+	// Logger receives one structured record per request (trace ID,
+	// route, status, duration, serving tier) plus lifecycle events.
+	// nil disables request logging; build one with telemetry.NewLogger.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -117,28 +134,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// metrics is the daemon's counter set, published as the
-// gpusecmem_daemon expvar so the existing /debug/vars route exposes
-// it.
-type metrics struct {
-	requests  atomic.Uint64 // requests admitted to a simulation slot
-	rejected  atomic.Uint64 // 429s from a full admission queue
-	failed    atomic.Uint64 // simulation or render failures
-	cancelled atomic.Uint64 // client disconnects / timeouts / shutdown
-	memHits   atomic.Uint64
-	diskHits  atomic.Uint64
-	simulated atomic.Uint64
-	resumed   atomic.Uint64 // simulations resumed from a checkpoint
-	saved     atomic.Uint64 // checkpoints written
-	running   atomic.Int64
-	queued    atomic.Int64
-	// Completed-run wall-time accounting, feeding the Retry-After
-	// estimate on 429s.
-	completed atomic.Uint64
-	wallMS    atomic.Uint64
-}
-
-// metricsSnapshot is the JSON view served by /healthz and expvar.
+// metricsSnapshot is the JSON view served by /healthz — a read-out of
+// the telemetry registry's instruments, kept in the daemon's
+// historical field names. It holds no state of its own: the registry
+// is the single source, so this view, the expvar view, and /metrics
+// cannot disagree.
 type metricsSnapshot struct {
 	Requests      uint64  `json:"requests"`
 	Rejected      uint64  `json:"rejected"`
@@ -149,42 +149,46 @@ type metricsSnapshot struct {
 	Simulated     uint64  `json:"simulated"`
 	Resumed       uint64  `json:"resumed"`
 	Checkpointed  uint64  `json:"checkpointed"`
+	WatchdogFires uint64  `json:"watchdog_fires"`
 	Running       int64   `json:"running"`
 	Queued        int64   `json:"queued"`
 	CompletedRuns uint64  `json:"completed_runs"`
 	MeanRunMS     float64 `json:"mean_run_ms"`
 }
 
-func (m *metrics) snapshot() metricsSnapshot {
+// snapshotMetrics reads the current values out of the registry
+// handles.
+func snapshotMetrics() metricsSnapshot {
 	s := metricsSnapshot{
-		Requests:      m.requests.Load(),
-		Rejected:      m.rejected.Load(),
-		Failed:        m.failed.Load(),
-		Cancelled:     m.cancelled.Load(),
-		MemHits:       m.memHits.Load(),
-		DiskHits:      m.diskHits.Load(),
-		Simulated:     m.simulated.Load(),
-		Resumed:       m.resumed.Load(),
-		Checkpointed:  m.saved.Load(),
-		Running:       m.running.Load(),
-		Queued:        m.queued.Load(),
-		CompletedRuns: m.completed.Load(),
+		Requests:      met.admitted.Value(),
+		Rejected:      met.rejected.Value(),
+		Failed:        met.failed.Value(),
+		Cancelled:     met.cancelled.Value(),
+		MemHits:       met.memHits.Value(),
+		DiskHits:      met.diskHits.Value(),
+		Simulated:     met.simulated.Value(),
+		Resumed:       met.resumed.Value(),
+		Checkpointed:  met.saved.Value(),
+		WatchdogFires: met.watchdog.Value(),
+		Running:       int64(met.running.Value()),
+		Queued:        int64(met.queued.Value()),
+		CompletedRuns: met.completed.Value(),
 	}
 	if s.CompletedRuns > 0 {
-		s.MeanRunMS = float64(m.wallMS.Load()) / float64(s.CompletedRuns)
+		s.MeanRunMS = float64(met.wallMS.Value()) / float64(s.CompletedRuns)
 	}
 	return s
 }
 
 // observeRun folds one completed request's simulation wall time into
 // the Retry-After estimate.
-func (m *metrics) observeRun(wall time.Duration) {
-	m.completed.Add(1)
+func observeRun(wall time.Duration) {
+	met.completed.Inc()
 	ms := wall.Milliseconds()
 	if ms < 1 {
 		ms = 1
 	}
-	m.wallMS.Add(uint64(ms))
+	met.wallMS.Add(uint64(ms))
 }
 
 // Server is the secmemd request handler plus its shared state. Create
@@ -195,9 +199,10 @@ type Server struct {
 	mem       *memCache
 	admission chan struct{} // Workers+QueueDepth slots: full => 429
 	workers   chan struct{} // Workers slots: queued requests block here
-	met       metrics
 	start     time.Time
 	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in the telemetry middleware
+	log       *slog.Logger
 
 	base   context.Context // cancelled by Abort to kill in-flight sims
 	cancel context.CancelFunc
@@ -205,121 +210,126 @@ type Server struct {
 
 var publishOnce sync.Once
 
-// New builds a Server. The daemon publishes its counters under the
-// gpusecmem_daemon expvar (alongside the runner's gpusecmem_sweep).
+// New builds a Server. The daemon's counters live in the process-wide
+// telemetry registry (telemetry.Default); the gpusecmem_daemon expvar
+// republishes a snapshot of that registry so the existing /debug/vars
+// route keeps exposing them.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	initInstruments()
 	s := &Server{
 		cfg:       cfg,
 		mem:       newMemCache(cfg.MemCacheEntries),
 		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers:   make(chan struct{}, cfg.Workers),
 		start:     time.Now(),
+		log:       cfg.Logger,
 	}
 	s.base, s.cancel = context.WithCancel(context.Background())
 
+	// The registry replaces the old per-Server counter struct, so the
+	// expvar needs no handle on the newest Server (the activeServer
+	// workaround this code used to carry): per-instance state is wired
+	// in as replace-on-reregister Func views instead.
 	publishOnce.Do(func() {
 		expvar.Publish("gpusecmem_daemon", expvar.Func(func() any {
-			return activeServer.Load().snapshotOrNil()
+			return telemetry.Default.Snapshot()
 		}))
 	})
-	activeServer.Store(s)
+	s.registerServerViews()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/catalogue", s.handleCatalogue)
 	mux.HandleFunc("GET /api/run", s.handleRun)
 	mux.HandleFunc("GET /api/experiment/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", telemetry.Default.Handler())
 	// The existing sweep debug layer: /progress, /debug/vars (which
 	// now includes gpusecmem_daemon), /debug/pprof/*.
 	dbg := runner.NewDebugHandler()
 	mux.Handle("/progress", dbg)
 	mux.Handle("/debug/", dbg)
 	s.mux = mux
+	s.handler = s.withTelemetry(mux)
 	return s
 }
 
-// activeServer lets the process-wide expvar reach the most recent
-// Server without republishing (expvar.Publish panics on duplicates).
-var activeServer atomic.Pointer[Server]
-
-func (s *Server) snapshotOrNil() any {
-	if s == nil {
-		return nil
-	}
-	payload := map[string]any{
-		"metrics":       s.met.snapshot(),
-		"mem_cache_len": s.mem.len(),
-	}
-	s.storeStats(payload)
-	return payload
-}
-
-// Handler returns the daemon's route mux.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's routes wrapped in the telemetry
+// middleware (trace IDs, RED metrics, request logging).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Abort cancels every in-flight simulation. Call it when a graceful
 // drain exceeds its budget: blocked handlers fail fast and the
 // http.Server shutdown completes.
 func (s *Server) Abort() { s.cancel() }
 
-// httpError is the uniform JSON error payload.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError is the uniform JSON error payload. Every error body
+// carries the request's trace ID so a client-reported failure — a
+// 429, a 504, a shutdown 503 — can be correlated with the daemon's
+// logs and metrics.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	payload := map[string]any{
 		"error": fmt.Sprintf(format, args...),
 		"code":  code,
-	})
+	}
+	if id := telemetry.TraceID(r.Context()); id != "" {
+		payload["trace_id"] = id
+	}
+	json.NewEncoder(w).Encode(payload)
 }
 
 // admit claims a simulation slot, or answers the request itself (429
 // on a full queue, 503 after Abort) and reports ok=false. On ok the
 // caller runs with release deferred and a context that dies with the
-// client, the timeout, or the daemon.
+// client, the timeout, or the daemon. The returned context carries
+// the request's trace ID (from the telemetry middleware) into the
+// simulator.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Context, release func(), ok bool) {
 	// Post-Abort the select below could still win a free worker slot;
 	// refuse deterministically instead.
 	if s.base.Err() != nil {
-		httpError(w, http.StatusServiceUnavailable, "daemon shutting down")
+		httpError(w, r, http.StatusServiceUnavailable, "daemon shutting down")
 		return nil, nil, false
 	}
 	select {
 	case s.admission <- struct{}{}:
 	default:
-		s.met.rejected.Add(1)
+		met.rejected.Inc()
 		w.Header().Set("Retry-After", s.retryAfter())
-		httpError(w, http.StatusTooManyRequests, "admission queue full (%d running + %d queued)",
+		httpError(w, r, http.StatusTooManyRequests, "admission queue full (%d running + %d queued)",
 			s.cfg.Workers, s.cfg.QueueDepth)
 		return nil, nil, false
 	}
-	s.met.queued.Add(1)
+	met.queued.Add(1)
 
 	// Queued: wait for one of the Workers run slots.
 	select {
 	case s.workers <- struct{}{}:
 	case <-r.Context().Done():
-		s.met.queued.Add(-1)
+		met.queued.Add(-1)
 		<-s.admission
-		s.met.cancelled.Add(1)
-		httpError(w, statusClientClosedRequest, "request cancelled while queued")
+		met.cancelled.Inc()
+		httpError(w, r, statusClientClosedRequest, "request cancelled while queued")
 		return nil, nil, false
 	case <-s.base.Done():
-		s.met.queued.Add(-1)
+		met.queued.Add(-1)
 		<-s.admission
-		httpError(w, http.StatusServiceUnavailable, "daemon shutting down")
+		httpError(w, r, http.StatusServiceUnavailable, "daemon shutting down")
 		return nil, nil, false
 	}
-	s.met.queued.Add(-1)
-	s.met.running.Add(1)
-	s.met.requests.Add(1)
+	met.queued.Add(-1)
+	met.running.Add(1)
+	met.admitted.Inc()
 
 	ctx, cancel := context.WithTimeout(s.base, s.cfg.RequestTimeout)
+	ctx = telemetry.WithTraceID(ctx, telemetry.TraceID(r.Context()))
 	stop := context.AfterFunc(r.Context(), cancel)
 	release = func() {
 		stop()
 		cancel()
-		s.met.running.Add(-1)
+		met.running.Add(-1)
 		<-s.workers
 		<-s.admission
 	}
@@ -331,12 +341,14 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 // everything running plus everything queued — divided across the
 // worker pool, at the observed mean simulation wall time. Before any
 // run has completed the estimate degrades to the old one-second hint.
+// The two inputs are surfaced as the gpusecmem_retry_mean_run_ms and
+// gpusecmem_retry_backlog gauges.
 func (s *Server) retryAfter() string {
 	mean := time.Second
-	if n := s.met.completed.Load(); n > 0 {
-		mean = time.Duration(s.met.wallMS.Load()/n) * time.Millisecond
+	if n := met.completed.Value(); n > 0 {
+		mean = time.Duration(met.wallMS.Value()/n) * time.Millisecond
 	}
-	backlog := s.met.running.Load() + s.met.queued.Load()
+	backlog := int64(met.running.Value() + met.queued.Value())
 	if backlog < 1 {
 		backlog = 1
 	}
@@ -356,18 +368,22 @@ const statusClientClosedRequest = 499
 
 // failStatus maps a simulation error to an HTTP status and counts it.
 func (s *Server) failStatus(err error) int {
+	var stall *gpusecmem.StallError
+	if errors.As(err, &stall) {
+		met.watchdog.Inc()
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.met.cancelled.Add(1)
+		met.cancelled.Inc()
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		s.met.cancelled.Add(1)
+		met.cancelled.Inc()
 		if s.base.Err() != nil {
 			return http.StatusServiceUnavailable
 		}
 		return statusClientClosedRequest
 	default:
-		s.met.failed.Add(1)
+		met.failed.Inc()
 		return http.StatusInternalServerError
 	}
 }
@@ -400,13 +416,16 @@ func (s *Server) handleCatalogue(w http.ResponseWriter, r *http.Request) {
 // --- ad-hoc runs ---
 
 // runResponse is the /api/run payload. Source records where the
-// result came from — "memory", "disk", or "simulated" — so callers
-// (and the CI smoke test) can assert cache behaviour.
+// result came from — "memory", "disk", "resumed", or "simulated" — so
+// callers (and the CI smoke test) can assert cache behaviour. TraceID
+// repeats the X-Secmem-Trace-Id header for clients that only keep
+// bodies.
 type runResponse struct {
 	Benchmark string          `json:"benchmark"`
 	Scheme    string          `json:"scheme"`
 	Key       string          `json:"key"`
 	Source    string          `json:"source"`
+	TraceID   string          `json:"trace_id,omitempty"`
 	WallMS    float64         `json:"wall_ms"`
 	Result    json.RawMessage `json:"result"`
 }
@@ -477,11 +496,11 @@ func validBenchmark(name string) bool {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	cfg, scheme, bench, err := parseRunConfig(r.URL.Query())
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if !validBenchmark(bench) {
-		httpError(w, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", bench)
+		httpError(w, r, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", bench)
 		return
 	}
 
@@ -498,21 +517,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles, Shards: s.cfg.Shards})
 	gctx.SetResultCache(view)
 	ckpt := s.armCheckpoints(gctx)
+	defer view.count()
+	defer ckpt.count()
 
 	t0 := time.Now()
 	res, err := gctx.RunE(ctx, cfg, bench)
-	ckpt.count(&s.met)
 	if err != nil {
-		httpError(w, s.failStatus(err), "%v", err)
+		httpError(w, r, s.failStatus(err), "%v", err)
 		return
 	}
-	s.met.observeRun(time.Since(t0))
+	wall := time.Since(t0)
+	observeRun(wall)
 	body, err := json.Marshal(res)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "encode result: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "encode result: %v", err)
 		return
 	}
-	view.count(&s.met)
+	source := ckpt.sourceOr(view.source())
+	met.runDur.With(source).Observe(uint64(wall.Microseconds()))
+	w.Header().Set("X-Run-Source", source)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -520,8 +543,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Benchmark: bench,
 		Scheme:    scheme,
 		Key:       runner.KeyDigest(gpusecmem.RunKey(cfg, bench)),
-		Source:    ckpt.sourceOr(view.source()),
-		WallMS:    float64(time.Since(t0).Microseconds()) / 1000,
+		Source:    source,
+		TraceID:   telemetry.TraceID(r.Context()),
+		WallMS:    float64(wall.Microseconds()) / 1000,
 		Result:    body,
 	})
 }
@@ -532,7 +556,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := gpusecmem.ExperimentByID(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown experiment %q (see /api/catalogue)", id)
+		httpError(w, r, http.StatusNotFound, "unknown experiment %q (see /api/catalogue)", id)
 		return
 	}
 	q := r.URL.Query()
@@ -541,7 +565,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		format = "text"
 	}
 	if !report.ValidFormat(format) {
-		httpError(w, http.StatusBadRequest, "unknown format %q (text|csv|md)", format)
+		httpError(w, r, http.StatusBadRequest, "unknown format %q (text|csv|md)", format)
 		return
 	}
 	opts := gpusecmem.Options{
@@ -551,7 +575,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("cycles"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil || n == 0 {
-			httpError(w, http.StatusBadRequest, "bad cycles %q", v)
+			httpError(w, r, http.StatusBadRequest, "bad cycles %q", v)
 			return
 		}
 		opts.Cycles = n
@@ -559,7 +583,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("benchmarks"); v != "" {
 		for _, b := range strings.Split(v, ",") {
 			if !validBenchmark(b) {
-				httpError(w, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", b)
+				httpError(w, r, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", b)
 				return
 			}
 			opts.Benchmarks = append(opts.Benchmarks, b)
@@ -576,24 +600,27 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	gctx := gpusecmem.NewContext(opts)
 	gctx.SetResultCache(view)
 	ckpt := s.armCheckpoints(gctx)
+	defer view.count()
+	defer ckpt.count()
 
 	// The runner gives us planning, panic recovery, and render-order
 	// determinism for free; one job keeps this request to its one
 	// admission slot.
 	t0 := time.Now()
 	rep := runner.Run(ctx, gctx, []gpusecmem.Experiment{e}, runner.Options{Jobs: 1})
-	ckpt.count(&s.met)
 	if rep.Aborted {
-		httpError(w, s.failStatus(ctx.Err()), "experiment aborted: %v", ctx.Err())
+		httpError(w, r, s.failStatus(ctx.Err()), "experiment aborted: %v", ctx.Err())
 		return
 	}
 	res := rep.Results[0]
 	if res.Err != nil {
-		httpError(w, s.failStatus(res.Err), "experiment %s: %v", id, res.Err)
+		httpError(w, r, s.failStatus(res.Err), "experiment %s: %v", id, res.Err)
 		return
 	}
-	s.met.observeRun(time.Since(t0))
-	view.count(&s.met)
+	wall := time.Since(t0)
+	observeRun(wall)
+	source := ckpt.sourceOr(view.source())
+	met.runDur.With(source).Observe(uint64(wall.Microseconds()))
 
 	switch format {
 	case "csv":
@@ -601,7 +628,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	w.Header().Set("X-Run-Source", ckpt.sourceOr(view.source()))
+	w.Header().Set("X-Run-Source", source)
 	fmt.Fprintf(w, "# %s\n# paper: %s\n", e.Title, e.PaperFinding)
 	for _, t := range res.Tables {
 		if err := t.Write(w, format); err != nil {
@@ -622,7 +649,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.cfg.Workers,
 		"queue_depth":    s.cfg.QueueDepth,
-		"metrics":        s.met.snapshot(),
+		"metrics":        snapshotMetrics(),
 		"mem_cache_len":  s.mem.len(),
 	}
 	s.storeStats(payload)
@@ -630,9 +657,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // storeStats adds the persistent stores' own counters (hits, misses,
-// puts, self-heal errors) to a healthz/expvar payload when the
-// configured implementations expose them — the on-disk stores do;
-// test doubles need not.
+// puts, self-heal errors) to the healthz payload when the configured
+// implementations expose them — the on-disk stores do; test doubles
+// need not. The same Stats feed the registry's Func views, so
+// /healthz and /metrics read one source.
 func (s *Server) storeStats(payload map[string]any) {
 	if cs, ok := s.cfg.Cache.(interface{ Stats() resultcache.Stats }); ok {
 		payload["result_cache"] = cs.Stats()

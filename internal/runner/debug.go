@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gpusecmem/internal/telemetry"
 )
 
 // ProgressSnapshot is the live view of a running sweep served by the
@@ -73,6 +75,7 @@ func publishSweepVar() {
 //
 //	/          index of available routes
 //	/progress  live sweep progress as JSON
+//	/metrics   Prometheus text-format exposition of telemetry.Default
 //	/debug/vars  expvar counters (includes gpusecmem_sweep)
 //	/debug/pprof/*  net/http/pprof profiles for long sweeps
 //
@@ -87,6 +90,7 @@ func NewDebugHandler() http.Handler {
 		}
 		fmt.Fprint(w, "gpusecmem sweep debug endpoint\n\n"+
 			"  /progress       live sweep progress (JSON)\n"+
+			"  /metrics        Prometheus text-format exposition\n"+
 			"  /debug/vars     expvar counters\n"+
 			"  /debug/pprof/   CPU/heap/goroutine profiles\n")
 	})
@@ -101,6 +105,7 @@ func NewDebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(s.snapshot())
 	})
+	mux.Handle("/metrics", telemetry.Default.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -122,6 +127,6 @@ func startDebugServer(addr string, out io.Writer) func() {
 	}
 	srv := &http.Server{Handler: NewDebugHandler()}
 	go srv.Serve(ln)
-	fmt.Fprintf(out, "debug: serving http://%s/ (/progress, /debug/vars, /debug/pprof)\n", ln.Addr())
+	fmt.Fprintf(out, "debug: serving http://%s/ (/progress, /metrics, /debug/vars, /debug/pprof)\n", ln.Addr())
 	return func() { srv.Close() }
 }

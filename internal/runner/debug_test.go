@@ -80,6 +80,28 @@ func TestDebugHandlerRoutes(t *testing.T) {
 	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
 		t.Fatalf("pprof index returned %d", code)
 	}
+
+	// /metrics serves the Prometheus exposition of the shared registry,
+	// including the sweep counters once a sweep has registered them.
+	initSweepInstruments()
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	if !strings.Contains(body, "# TYPE gpusecmem_sweep_planned_runs gauge") ||
+		!strings.Contains(body, "gpusecmem_sweeps_total") {
+		t.Fatalf("/metrics missing sweep families:\n%s", body)
+	}
+	if !strings.Contains(get2(t, srv, "/"), "/metrics") {
+		t.Fatal("index missing /metrics route")
+	}
+}
+
+// get2 is get returning only the body, for inline assertions.
+func get2(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	_, body := get(t, srv, path)
+	return body
 }
 
 func TestStartDebugServerBindFailure(t *testing.T) {

@@ -212,6 +212,10 @@ func Run(ctx context.Context, gctx *gpusecmem.Context, exps []gpusecmem.Experime
 	plan := gctx.PlanRuns(exps)
 	rep := &Report{Jobs: jobs, PlannedRuns: len(plan)}
 
+	initSweepInstruments()
+	sweepMet.sweeps.Inc()
+	sweepMet.planned.Set(float64(len(plan)))
+
 	var done, failed atomic.Int64
 	if opts.DebugAddr != "" {
 		out := opts.ProgressOut
@@ -237,13 +241,18 @@ func Run(ctx context.Context, gctx *gpusecmem.Context, exps []gpusecmem.Experime
 		go func() {
 			defer wg.Done()
 			for s := range specs {
+				outcome := "ok"
 				if _, err := gctx.RunE(ctx, s.Cfg, s.Benchmark); err != nil {
 					// A cancelled run is the sweep aborting, not a
 					// failed configuration.
-					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						outcome = "cancelled"
+					} else {
+						outcome = "failed"
 						failed.Add(1)
 					}
 				}
+				sweepMet.runs.With(outcome).Inc()
 				done.Add(1)
 			}
 		}()

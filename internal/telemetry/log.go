@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a structured logger for the serving layer: format
+// is "text" or "json", level one of debug|info|warn|error. The logger
+// is wrapped so every record logged with a request context
+// automatically carries that request's trace_id attribute — handlers
+// never thread the ID by hand.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (text|json)", format)
+	}
+	return slog.New(&ContextHandler{h}), nil
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", level)
+}
+
+// ContextHandler decorates a slog.Handler so records logged with a
+// context that carries a trace ID (WithTraceID) gain a trace_id
+// attribute. Wrapping survives With/WithGroup.
+type ContextHandler struct {
+	slog.Handler
+}
+
+// Handle appends the context's trace ID, when present, then delegates.
+func (h *ContextHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := TraceID(ctx); id != "" {
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+// WithAttrs preserves the wrapper around the derived handler.
+func (h *ContextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &ContextHandler{h.Handler.WithAttrs(attrs)}
+}
+
+// WithGroup preserves the wrapper around the derived handler.
+func (h *ContextHandler) WithGroup(name string) slog.Handler {
+	return &ContextHandler{h.Handler.WithGroup(name)}
+}

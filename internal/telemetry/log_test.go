@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"info":  slog.LevelInfo,
+		"debug": slog.LevelDebug,
+		"warn":  slog.LevelWarn,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) = nil error")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("json log line not JSON: %v\n%s", err, sb.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	sb.Reset()
+	log, err = NewLogger(&sb, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	if sb.Len() != 0 {
+		t.Fatalf("info record leaked past warn level: %s", sb.String())
+	}
+	log.Warn("kept")
+	if !strings.Contains(sb.String(), "msg=kept") {
+		t.Fatalf("text record missing: %s", sb.String())
+	}
+
+	if _, err := NewLogger(&sb, "xml", "info"); err == nil {
+		t.Fatal("NewLogger(xml) = nil error")
+	}
+	if _, err := NewLogger(&sb, "text", "loud"); err == nil {
+		t.Fatal("NewLogger(bad level) = nil error")
+	}
+}
+
+func TestContextHandlerInjectsTraceID(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger(&sb, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTraceID(context.Background(), "cafe1234deadbeef")
+	log.InfoContext(ctx, "traced")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != "cafe1234deadbeef" {
+		t.Fatalf("trace_id missing from record: %v", rec)
+	}
+
+	// No trace in the context: no attribute.
+	sb.Reset()
+	log.Info("untraced")
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Fatalf("unexpected trace_id: %s", sb.String())
+	}
+
+	// The wrapper must survive With/WithGroup derivation.
+	sb.Reset()
+	log.With("a", 1).WithGroup("g").InfoContext(ctx, "derived", "b", 2)
+	if !strings.Contains(sb.String(), "cafe1234deadbeef") {
+		t.Fatalf("trace_id lost after With/WithGroup: %s", sb.String())
+	}
+}

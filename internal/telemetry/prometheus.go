@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): families in name order, series in
+// sorted label order, histograms as cumulative le-bucketed series with
+// _sum and _count. Log2 histograms expose exact integer boundaries —
+// the cumulative count through bucket i holds every value v < 2^i, so
+// its upper bound is le="2^i - 1" (le="0" for the zero bucket) and
+// bucket counts are exact, not interpolated.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		f.writePrometheus(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves WritePrometheus — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) writePrometheus(w *bufio.Writer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	if isFunc(f.kind) {
+		v := 0.0
+		if f.fn != nil {
+			v = f.fn()
+		}
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(formatFloat(v))
+		w.WriteByte('\n')
+		return
+	}
+
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := f.series[key]
+		switch f.kind {
+		case kindCounter:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, s.values)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(s.c.Load(), 10))
+			w.WriteByte('\n')
+		case kindGauge:
+			w.WriteString(f.name)
+			writeLabels(w, f.labels, s.values)
+			w.WriteByte(' ')
+			w.WriteString(formatFloat(math.Float64frombits(s.g.Load())))
+			w.WriteByte('\n')
+		case kindHistogram:
+			s.hmu.Lock()
+			h := s.h
+			s.hmu.Unlock()
+			// Cumulative buckets up to the highest populated one, then
+			// +Inf. Upper bounds are exact for integer observations:
+			// buckets 0..i together hold every v < 2^i.
+			var cum uint64
+			top := 0
+			for i, c := range h.Buckets {
+				if c > 0 {
+					top = i
+				}
+			}
+			for i := 0; i <= top; i++ {
+				cum += h.Buckets[i]
+				le := "0"
+				if i > 0 {
+					le = strconv.FormatUint(1<<uint(i)-1, 10)
+				}
+				writeBucket(w, f.name, f.labels, s.values, le, cum)
+			}
+			writeBucket(w, f.name, f.labels, s.values, "+Inf", h.Count)
+			w.WriteString(f.name)
+			w.WriteString("_sum")
+			writeLabels(w, f.labels, s.values)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(h.Sum, 10))
+			w.WriteByte('\n')
+			w.WriteString(f.name)
+			w.WriteString("_count")
+			writeLabels(w, f.labels, s.values)
+			w.WriteByte(' ')
+			w.WriteString(strconv.FormatUint(h.Count, 10))
+			w.WriteByte('\n')
+		}
+	}
+}
+
+func writeBucket(w *bufio.Writer, name string, labels, values []string, le string, count uint64) {
+	w.WriteString(name)
+	w.WriteString("_bucket{")
+	for i, l := range labels {
+		w.WriteString(l)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteString(`",`)
+	}
+	w.WriteString(`le="`)
+	w.WriteString(le)
+	w.WriteString(`"} `)
+	w.WriteString(strconv.FormatUint(count, 10))
+	w.WriteByte('\n')
+}
+
+func writeLabels(w *bufio.Writer, labels, values []string) {
+	if len(labels) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(values[i]))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are
+// legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

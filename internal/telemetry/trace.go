@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace ID, on
+// both requests (a client may supply its own) and every response.
+const TraceHeader = "X-Secmem-Trace-Id"
+
+// traceKey is the context key for the request trace ID.
+type traceKey struct{}
+
+// NewTraceID returns a fresh 16-hex-character request trace ID. IDs
+// are generated at admission and threaded through the whole request
+// path — daemon handler, cache tiers, runner, simulator context — so
+// one ID correlates the response header, every log line, and any
+// error body of a request.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand cannot realistically fail; degrade to a unique-
+		// enough time+sequence ID rather than an empty one.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^traceSeq.Add(1)<<40)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var traceSeq atomic.Uint64
+
+// ValidTraceID accepts client-supplied trace IDs: 8 to 64 characters
+// of lowercase/uppercase hex or dashes (covering our own IDs, UUIDs,
+// and W3C-style hex IDs). Anything else is replaced rather than
+// echoed, so a hostile header cannot inject log or exposition text.
+func ValidTraceID(id string) bool {
+	if len(id) < 8 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EnsureTraceID returns id when it is a valid inbound trace ID, and a
+// freshly generated one otherwise.
+func EnsureTraceID(id string) string {
+	if ValidTraceID(id) {
+		return id
+	}
+	return NewTraceID()
+}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID extracts the context's trace ID ("" when none was set —
+// e.g. a library call outside any request).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}

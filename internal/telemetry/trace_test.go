@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("len(%q) = %d, want 16", id, len(id))
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("generated ID %q not valid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"cafe1234", "CAFE1234deadbeef", strings.Repeat("a", 64),
+		"550e8400-e29b-41d4-a716-446655440000"}
+	for _, id := range valid {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", "short", strings.Repeat("a", 65),
+		"cafe123z", "cafe 1234", "cafe\n1234", `cafe"1234`, "трасса12"}
+	for _, id := range invalid {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestEnsureTraceID(t *testing.T) {
+	if got := EnsureTraceID("cafe1234deadbeef"); got != "cafe1234deadbeef" {
+		t.Fatalf("valid inbound ID replaced: %q", got)
+	}
+	got := EnsureTraceID("not a trace id\n")
+	if !ValidTraceID(got) || strings.Contains(got, "\n") {
+		t.Fatalf("invalid inbound ID not replaced: %q", got)
+	}
+}
+
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("TraceID(empty ctx) = %q, want \"\"", got)
+	}
+	ctx = WithTraceID(ctx, "cafe1234deadbeef")
+	if got := TraceID(ctx); got != "cafe1234deadbeef" {
+		t.Fatalf("TraceID = %q", got)
+	}
+}
