@@ -43,16 +43,16 @@ smoke:
 ## bench: tracked simulator-throughput baseline — measures cycles/sec
 ## and steady-state allocations on a fixed scheme x benchmark grid
 ## (including sharded @s4 points on the parallel partition engine) and
-## writes BENCH_PR6.json with the PR4 reference embedded.
+## writes BENCH_PR9.json with the PR6 reference embedded.
 bench:
-	$(GO) run ./cmd/perfbench -baseline BENCH_PR4.json -out BENCH_PR6.json
+	$(GO) run ./cmd/perfbench -baseline BENCH_PR6.json -out BENCH_PR9.json
 
 ## perf-gate: quick perfbench run diffed against the committed
-## BENCH_PR6.json baseline — exits nonzero when any case regresses
+## BENCH_PR9.json baseline — exits nonzero when any case regresses
 ## past the threshold (the CI regression gate; thresholds are loose
 ## because baselines come from a different host).
 perf-gate:
-	$(GO) run ./cmd/perfbench -quick -out /tmp/perfgate.json -compare BENCH_PR6.json -compare-threshold 0.25
+	$(GO) run ./cmd/perfbench -quick -out /tmp/perfgate.json -compare BENCH_PR9.json -compare-threshold 0.25
 
 ## gobench: package micro-benchmarks via go test
 gobench:

@@ -43,6 +43,7 @@ var contractRequired = map[string]bool{
 	"internal/atomicfile":  true,
 	"internal/cache":       true,
 	"internal/checkpoint":  true,
+	"internal/cluster":     true,
 	"internal/daemon":      true,
 	"internal/dram":        true,
 	"internal/eventq":      true,

@@ -21,6 +21,16 @@
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
 // in-flight requests get -drain to finish, then remaining simulations
 // are cancelled cooperatively and the process exits.
+//
+// Cluster mode (DESIGN.md §16) joins this daemon to a static peer
+// fleet: every member runs the same member set, canonical run keys
+// are placed by rendezvous hashing, and a member answers misses from
+// the key owner's cache or forwards the request there — falling back
+// to local simulation when the owner is down:
+//
+//	secmemd -addr :8081 -cache-dir /var/cache/a \
+//	        -self http://10.0.0.1:8081 \
+//	        -peers http://10.0.0.2:8081,http://10.0.0.3:8081
 package main
 
 import (
@@ -31,10 +41,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"gpusecmem/internal/checkpoint"
+	"gpusecmem/internal/cluster"
 	"gpusecmem/internal/daemon"
 	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/telemetry"
@@ -55,6 +67,11 @@ func main() {
 		grace    = flag.Duration("abort-grace", 5*time.Second, "post-abort budget for cancelled handlers to flush (after -drain expires)")
 		logFmt   = flag.String("log-format", "text", "request log format: text|json")
 		logLvl   = flag.String("log-level", "info", "request log level: debug|info|warn|error (scrape routes log at debug)")
+
+		self       = flag.String("self", "", "this node's advertised base URL in the cluster (required with -peers)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs; enables cluster mode")
+		peerTO     = flag.Duration("peer-timeout", 5*time.Second, "per peer fetch/push/forward budget")
+		probeEvery = flag.Duration("peer-probe-every", 2*time.Second, "peer health-probe interval")
 	)
 	flag.Parse()
 
@@ -91,6 +108,22 @@ func main() {
 		cfg.CheckpointEvery = *ckptN
 		logger.Info("checkpoint store open", "dir", store.Dir(), "entries", store.Len(), "every_cycles", *ckptN)
 	}
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:       *self,
+			Peers:      strings.Split(*peers, ","),
+			Timeout:    *peerTO,
+			ProbeEvery: *probeEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Cluster = cl
+		logger.Info("cluster joined", "self", cl.Self(), "members", len(cl.Nodes()))
+	}
 	d := daemon.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -107,6 +140,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cl != nil {
+		cl.Start(ctx) // health probes stop with the shutdown signal
+	}
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, err)

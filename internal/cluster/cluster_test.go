@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newCluster(t *testing.T, self string, peers ...string) *Cluster {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: peers, Timeout: 2 * time.Second, ProbeEvery: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Peers: []string{"http://a"}}); err == nil {
+		t.Fatal("missing self accepted")
+	}
+	if _, err := New(Config{Self: "http://a"}); err == nil {
+		t.Fatal("peerless cluster accepted")
+	}
+}
+
+// TestHealthProbeMarksPeers drives the probe loop against a live and
+// a dead peer: the live one stays up, the dead one goes down, and a
+// recovered peer comes back.
+func TestHealthProbeMarksPeers(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c := newCluster(t, "http://self.invalid:1", peer.URL)
+	ctx := context.Background()
+
+	c.ProbeAll(ctx)
+	if !c.Up(peer.URL) {
+		t.Fatal("healthy peer marked down")
+	}
+	healthy.Store(false)
+	c.ProbeAll(ctx)
+	if c.Up(peer.URL) {
+		t.Fatal("unhealthy peer still up")
+	}
+	healthy.Store(true)
+	c.ProbeAll(ctx)
+	if !c.Up(peer.URL) {
+		t.Fatal("recovered peer not back up")
+	}
+	if !c.Up("http://self.invalid:1") {
+		t.Fatal("self must always be up")
+	}
+	if c.Up("http://stranger.invalid:9") {
+		t.Fatal("unknown node reported up")
+	}
+}
+
+// TestFetchRawAndPassiveDown exercises the raw-envelope fetch path:
+// hit, miss, and a dead peer marking itself down passively (no probe
+// needed) so fail-open is immediate.
+func TestFetchRawAndPassiveDown(t *testing.T) {
+	payload := []byte("raw-envelope-bytes")
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/api/cache" && r.URL.Query().Get("key") == "have":
+			w.Write(payload)
+		case r.URL.Path == "/api/cache":
+			http.NotFound(w, r)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	c := newCluster(t, "http://self.invalid:1", peer.URL)
+	ctx := context.Background()
+
+	raw, ok := c.FetchRaw(ctx, peer.URL, "have")
+	if !ok || string(raw) != string(payload) {
+		t.Fatalf("fetch hit = (%q, %v), want payload", raw, ok)
+	}
+	if _, ok := c.FetchRaw(ctx, peer.URL, "missing"); ok {
+		t.Fatal("fetch of missing key reported a hit")
+	}
+	if !c.Up(peer.URL) {
+		t.Fatal("a miss must not mark the peer down")
+	}
+
+	peer.Close()
+	if _, ok := c.FetchRaw(ctx, peer.URL, "have"); ok {
+		t.Fatal("fetch from dead peer reported a hit")
+	}
+	if c.Up(peer.URL) {
+		t.Fatal("dead peer not marked down passively")
+	}
+}
+
+func TestPushRaw(t *testing.T) {
+	var gotKey atomic.Value
+	var gotBody atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut && r.URL.Path == "/api/cache" {
+			b := make([]byte, r.ContentLength)
+			r.Body.Read(b)
+			gotKey.Store(r.URL.Query().Get("key"))
+			gotBody.Store(string(b))
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer peer.Close()
+	c := newCluster(t, "http://self.invalid:1", peer.URL)
+
+	// Keys are canonical RunKeys — JSON with spaces, braces, pipes —
+	// and must survive URL transport verbatim.
+	key := `{"NumSMs":80,"Secure":{"Unified":true}}|fdtd2d`
+	if err := c.PushRaw(context.Background(), peer.URL, key, []byte("bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if gotKey.Load() != key {
+		t.Fatalf("key mangled in transit: %q", gotKey.Load())
+	}
+	if gotBody.Load() != "bytes" {
+		t.Fatalf("body mangled: %q", gotBody.Load())
+	}
+}
+
+// TestForwardHopGuard checks the forwarded request carries the hop
+// loop-guard header and the origin's URI verbatim.
+func TestForwardHopGuard(t *testing.T) {
+	var sawHop atomic.Value
+	var sawURI atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawHop.Store(r.Header.Get(HopHeader))
+		sawURI.Store(r.URL.RequestURI())
+		w.Write([]byte("owner-body"))
+	}))
+	defer owner.Close()
+	c := newCluster(t, "http://self.invalid:1", owner.URL)
+
+	in := httptest.NewRequest(http.MethodGet, "/api/run?bench=nw&cycles=2000", nil)
+	resp, err := c.Forward(in, owner.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sawHop.Load() != "http://self.invalid:1" {
+		t.Fatalf("hop header = %q, want self URL", sawHop.Load())
+	}
+	if sawURI.Load() != "/api/run?bench=nw&cycles=2000" {
+		t.Fatalf("forwarded URI = %q", sawURI.Load())
+	}
+
+	owner.Close()
+	if _, err := c.Forward(in, owner.URL); err == nil {
+		t.Fatal("forward to dead owner did not error")
+	}
+	if c.Up(owner.URL) {
+		t.Fatal("dead owner not marked down by failed forward")
+	}
+}
+
+func TestStatusAll(t *testing.T) {
+	c := newCluster(t, "http://b:2", "http://a:1", "http://c:3")
+	st := c.StatusAll()
+	if len(st) != 3 {
+		t.Fatalf("got %d rows", len(st))
+	}
+	// Canonical (sorted) order, self flagged.
+	if st[0].Node != "http://a:1" || st[1].Node != "http://b:2" || st[2].Node != "http://c:3" {
+		t.Fatalf("order: %+v", st)
+	}
+	if !st[1].Self || st[0].Self || st[2].Self {
+		t.Fatalf("self flags: %+v", st)
+	}
+}

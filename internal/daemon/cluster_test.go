@@ -1,0 +1,440 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpusecmem"
+	"gpusecmem/internal/cluster"
+	"gpusecmem/internal/resultcache"
+)
+
+// reserveListeners grabs n loopback listeners up front so every node's
+// advertised URL is known before any daemon is built — the static
+// member list the cluster package expects from flags.
+func reserveListeners(t *testing.T, n int) ([]net.Listener, []string) {
+	t.Helper()
+	ls := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range ls {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	return ls, urls
+}
+
+// startNode serves handler on a reserved listener.
+func startNode(t *testing.T, l net.Listener, handler http.Handler) *httptest.Server {
+	t.Helper()
+	ts := &httptest.Server{Listener: l, Config: &http.Server{Handler: handler}}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newClusterMember builds one clustered daemon over its own disk cache.
+func newClusterMember(t *testing.T, self string, peers []string) *Server {
+	t.Helper()
+	disk, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Self:    self,
+		Peers:   peers,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Cache: disk, Cluster: cl})
+}
+
+const clusterRunQuery = "bench=nw&scheme=ctr_mac_bmt&cycles=1500"
+
+// clusterRunKey computes the canonical key for clusterRunQuery exactly
+// as the daemon does.
+func clusterRunKey(t *testing.T) string {
+	t.Helper()
+	q, err := url.ParseQuery(clusterRunQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, bench, err := parseRunConfig(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gpusecmem.RunKey(cfg, bench)
+}
+
+// pickOwnerNonOwner maps two member URLs onto (owner, nonOwner) for the
+// test key, using the same ring the daemons use.
+func pickOwnerNonOwner(t *testing.T, key string, urls []string) (owner, nonOwner int) {
+	t.Helper()
+	ring, err := cluster.NewRing(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range urls {
+		if ring.Owner(key) == u {
+			for j := range urls {
+				if j != i {
+					return i, j
+				}
+			}
+		}
+	}
+	t.Fatal("no owner among members")
+	return 0, 0
+}
+
+// compactJSON canonicalizes whitespace so wire-indented and
+// library-marshalled forms compare byte-for-byte.
+func compactJSON(t *testing.T, raw []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.String()
+}
+
+// TestClusterPeerTierByteIdentity drives the whole distributed story
+// on a live two-node cluster: a miss through the non-owner forwards to
+// the owner (which sees the hop guard) and simulates there; the repeat
+// through the non-owner is served from the owner's store via the raw
+// peer tier (source=peer) with a payload byte-identical to a direct
+// library run; the third repeat comes from the non-owner's own memory
+// LRU, where the peer hit was promoted.
+func TestClusterPeerTierByteIdentity(t *testing.T) {
+	ls, urls := reserveListeners(t, 2)
+	key := clusterRunKey(t)
+	ownerIdx, otherIdx := pickOwnerNonOwner(t, key, urls)
+
+	var ownerRuns atomic.Int32
+	var sawHop atomic.Bool
+	for i := range ls {
+		d := newClusterMember(t, urls[i], []string{urls[1-i]})
+		h := d.Handler()
+		if i == ownerIdx {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/run" {
+					ownerRuns.Add(1)
+					if r.Header.Get(cluster.HopHeader) != "" {
+						sawHop.Store(true)
+					}
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		startNode(t, ls[i], h)
+	}
+
+	runURL := urls[otherIdx] + "/api/run?" + clusterRunQuery
+	var first, second, third struct {
+		Source string          `json:"source"`
+		Key    string          `json:"key"`
+		Result json.RawMessage `json:"result"`
+	}
+	if code := getJSON(t, runURL, &first); code != 200 {
+		t.Fatalf("first run: status %d", code)
+	}
+	if first.Source != "simulated" {
+		t.Fatalf("first run source = %q, want simulated (on the owner)", first.Source)
+	}
+	if ownerRuns.Load() != 1 || !sawHop.Load() {
+		t.Fatalf("owner saw %d /api/run (hop header: %v), want 1 forwarded request",
+			ownerRuns.Load(), sawHop.Load())
+	}
+
+	if code := getJSON(t, runURL, &second); code != 200 {
+		t.Fatalf("second run: status %d", code)
+	}
+	if second.Source != "peer" {
+		t.Fatalf("second run source = %q, want peer", second.Source)
+	}
+	if ownerRuns.Load() != 1 {
+		t.Fatal("peer-tier hit still hit the owner's /api/run")
+	}
+
+	// The acceptance pin: the peer-tier payload is byte-identical to a
+	// direct library run of the same canonical configuration.
+	q, _ := url.ParseQuery(clusterRunQuery)
+	cfg, _, bench, err := parseRunConfig(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := gpusecmem.Simulate(cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := compactJSON(t, second.Result); got != string(want) {
+		t.Fatal("peer-tier result differs from a direct library run")
+	}
+	if compactJSON(t, first.Result) != compactJSON(t, second.Result) {
+		t.Fatal("forwarded and peer-tier results differ")
+	}
+
+	if code := getJSON(t, runURL, &third); code != 200 {
+		t.Fatalf("third run: status %d", code)
+	}
+	if third.Source != "memory" {
+		t.Fatalf("third run source = %q, want memory (promoted peer hit)", third.Source)
+	}
+}
+
+// TestClusterHopGuard pins the loop guard: a request that already
+// carries the hop header is answered locally — never re-forwarded —
+// even by a non-owner whose owner is up, so disagreeing member lists
+// cost an extra hop instead of a loop.
+func TestClusterHopGuard(t *testing.T) {
+	ls, urls := reserveListeners(t, 2)
+	key := clusterRunKey(t)
+	ownerIdx, otherIdx := pickOwnerNonOwner(t, key, urls)
+
+	var ownerRuns atomic.Int32
+	for i := range ls {
+		d := newClusterMember(t, urls[i], []string{urls[1-i]})
+		h := d.Handler()
+		if i == ownerIdx {
+			inner := h
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == "/api/run" {
+					ownerRuns.Add(1)
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		startNode(t, ls[i], h)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, urls[otherIdx]+"/api/run?"+clusterRunQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HopHeader, "http://somewhere.else")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || body.Source != "simulated" {
+		t.Fatalf("hop-guarded request: status %d source %q, want 200 simulated locally",
+			resp.StatusCode, body.Source)
+	}
+	if ownerRuns.Load() != 0 {
+		t.Fatal("hop-guarded request was re-forwarded to the owner")
+	}
+}
+
+// TestClusterFailOpen kills the owner and pins the failure model: the
+// non-owner's forward fails, the peer is marked down, and the request
+// is simulated locally — degraded service, not an outage.
+func TestClusterFailOpen(t *testing.T) {
+	ls, urls := reserveListeners(t, 2)
+	key := clusterRunKey(t)
+	ownerIdx, otherIdx := pickOwnerNonOwner(t, key, urls)
+
+	nodes := make([]*Server, 2)
+	for i := range ls {
+		nodes[i] = newClusterMember(t, urls[i], []string{urls[1-i]})
+		startNode(t, ls[i], nodes[i].Handler())
+	}
+
+	// The owner dies before ever answering.
+	ls[ownerIdx].Close()
+
+	var got struct {
+		Source string `json:"source"`
+	}
+	if code := getJSON(t, urls[otherIdx]+"/api/run?"+clusterRunQuery, &got); code != 200 {
+		t.Fatalf("fail-open run: status %d", code)
+	}
+	if got.Source != "simulated" {
+		t.Fatalf("fail-open source = %q, want simulated locally", got.Source)
+	}
+	if nodes[otherIdx].cfg.Cluster.Up(urls[ownerIdx]) {
+		t.Fatal("failed forward did not mark the owner down")
+	}
+
+	// With the owner marked down the repeat skips straight to the local
+	// tiers — served from the survivor's memory, no peer involvement.
+	if code := getJSON(t, urls[otherIdx]+"/api/run?"+clusterRunQuery, &got); code != 200 {
+		t.Fatalf("post-failure run: status %d", code)
+	}
+	if got.Source != "memory" {
+		t.Fatalf("post-failure source = %q, want memory", got.Source)
+	}
+}
+
+// TestCacheAPI exercises the server half of the peer protocol over
+// real HTTP: push an envelope, fetch it back byte-identically, and
+// reject the failure cases.
+func TestCacheAPI(t *testing.T) {
+	disk, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, Config{Cache: disk})
+
+	cfg := gpusecmem.SecureMemConfig()
+	cfg.MaxCycles = 1500
+	res, err := gpusecmem.Simulate(cfg, "nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "some canonical key | nw"
+	raw, err := resultcache.EncodeEnvelope(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cacheURL := ts.URL + "/api/cache?key=" + url.QueryEscape(key)
+	// Miss before push.
+	resp, err := http.Get(cacheURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pre-push GET: status %d, want 404", resp.StatusCode)
+	}
+
+	put := func(body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, cacheURL, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := put(raw); code != 204 {
+		t.Fatalf("PUT: status %d, want 204", code)
+	}
+	if code := put([]byte("junk")); code != 400 {
+		t.Fatalf("junk PUT: status %d, want 400", code)
+	}
+
+	resp, err = http.Get(cacheURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET: status %d, want 200", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("fetched envelope differs from the pushed bytes")
+	}
+}
+
+// TestCacheAPIWithoutStore pins the degraded answers of a daemon with
+// no raw-capable persistent store.
+func TestCacheAPIWithoutStore(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	u := ts.URL + "/api/cache?key=k"
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET without store: status %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, u, bytes.NewReader([]byte("x")))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 501 {
+		t.Fatalf("PUT without store: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestClusterStatusRoute pins the /api/cluster payload: membership in
+// canonical order with self marked, and — when a run is named — the
+// key's digest and owner.
+func TestClusterStatusRoute(t *testing.T) {
+	ls, urls := reserveListeners(t, 2)
+	for i := range ls {
+		startNode(t, ls[i], newClusterMember(t, urls[i], []string{urls[1-i]}).Handler())
+	}
+
+	var status struct {
+		Self  string `json:"self"`
+		Nodes []struct {
+			Node string `json:"node"`
+			Self bool   `json:"self"`
+			Up   bool   `json:"up"`
+		} `json:"nodes"`
+	}
+	if code := getJSON(t, urls[0]+"/api/cluster", &status); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if status.Self != urls[0] || len(status.Nodes) != 2 {
+		t.Fatalf("bad status payload: %+v", status)
+	}
+	selfSeen := false
+	for _, n := range status.Nodes {
+		if n.Self {
+			selfSeen = true
+			if n.Node != urls[0] {
+				t.Fatalf("self row names %q, want %q", n.Node, urls[0])
+			}
+		}
+	}
+	if !selfSeen {
+		t.Fatal("no self row")
+	}
+
+	var placed struct {
+		Key     string `json:"key"`
+		Owner   string `json:"owner"`
+		OwnerUp bool   `json:"owner_up"`
+	}
+	if code := getJSON(t, urls[0]+"/api/cluster?"+clusterRunQuery, &placed); code != 200 {
+		t.Fatalf("placement status %d", code)
+	}
+	ring, err := cluster.NewRing(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.Owner != ring.Owner(clusterRunKey(t)) || placed.Key == "" || !placed.OwnerUp {
+		t.Fatalf("bad placement payload: %+v", placed)
+	}
+
+	// A non-clustered daemon has no cluster view.
+	ts := newTestServer(t, Config{})
+	if code := getJSON(t, ts.URL+"/api/cluster", nil); code != 404 {
+		t.Fatalf("unclustered /api/cluster: status %d, want 404", code)
+	}
+}

@@ -1,0 +1,119 @@
+package daemon
+
+// The server half of the cluster peer protocol (internal/cluster is
+// the client half; DESIGN.md §16): /api/cache moves raw result
+// envelopes between peers without a decode/re-encode round trip, and
+// /api/cluster exposes membership, health, and key placement for
+// operators and the CI smoke test.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"gpusecmem"
+	"gpusecmem/internal/runner"
+)
+
+// maxEnvelopeBytes bounds one pushed result envelope. Real envelopes
+// are a few KB; the cap only exists so a confused or malicious peer
+// cannot make us buffer an unbounded body.
+const maxEnvelopeBytes = 64 << 20
+
+// handleCacheGet serves the exact on-disk envelope bytes for a key —
+// the peer fetch path. Only a raw-capable persistent store can answer;
+// a daemon without one (or without the entry) is simply a miss.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, r, http.StatusBadRequest, "missing key")
+		return
+	}
+	rs, ok := s.cfg.Cache.(rawStore)
+	if !ok {
+		httpError(w, r, http.StatusNotFound, "no raw-capable result store")
+		return
+	}
+	raw, ok := rs.GetRaw(key)
+	if !ok {
+		httpError(w, r, http.StatusNotFound, "no entry")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
+}
+
+// handleCachePut installs a pushed envelope verbatim — the
+// write-through replication path. The store validates before writing
+// (schema, embedded key, non-nil result), so a bad push is a 400, not
+// a planted corrupt entry.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, r, http.StatusBadRequest, "missing key")
+		return
+	}
+	rs, ok := s.cfg.Cache.(rawStore)
+	if !ok {
+		httpError(w, r, http.StatusNotImplemented, "no raw-capable result store")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := rs.PutRaw(key, raw); err != nil {
+		httpError(w, r, http.StatusBadRequest, "bad envelope: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCluster reports membership and per-peer health, and — when the
+// query also names a run (same knobs as /api/run) — where that key
+// lives: its digest, its owner, and whether the owner is up.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	cl := s.cfg.Cluster
+	if cl == nil {
+		httpError(w, r, http.StatusNotFound, "daemon is not clustered")
+		return
+	}
+	payload := map[string]any{
+		"self":  cl.Self(),
+		"nodes": cl.StatusAll(),
+	}
+	if q := r.URL.Query(); q.Get("scheme") != "" || q.Get("bench") != "" {
+		cfg, _, bench, err := parseRunConfig(q)
+		if err != nil {
+			httpError(w, r, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if !validBenchmark(bench) {
+			httpError(w, r, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", bench)
+			return
+		}
+		key := gpusecmem.RunKey(cfg, bench)
+		owner, self := cl.Owner(key)
+		payload["key"] = runner.KeyDigest(key)
+		payload["owner"] = owner
+		payload["owner_self"] = self
+		payload["owner_up"] = cl.Up(owner)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+// proxyResponse streams a forwarded peer's response back to the
+// client, replacing any header the middleware already set (the trace
+// ID rode the forward and comes back identical).
+func proxyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

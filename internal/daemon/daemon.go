@@ -12,6 +12,8 @@
 //	GET /api/catalogue             benchmarks, schemes, experiments, formats
 //	GET /api/run                   one (scheme, benchmark) simulation as JSON
 //	GET /api/experiment/{id}       a paper table/figure, rendered text|csv|md
+//	GET/PUT /api/cache             raw result envelopes (the peer cache protocol)
+//	GET /api/cluster               membership, health, and key placement
 //	GET /healthz                   liveness + counters
 //	GET /metrics                   Prometheus text-format exposition
 //	GET /progress, /debug/...      the sweep debug layer (expvar, pprof)
@@ -19,7 +21,21 @@
 // Admission is bounded: at most Workers simulations run concurrently
 // and at most QueueDepth more wait; beyond that requests are rejected
 // immediately with 429 and a Retry-After hint, so a burst degrades to
-// fast failures instead of unbounded goroutine pile-up.
+// fast failures instead of unbounded goroutine pile-up. Admission
+// guards *simulation* only: requests every cached tier can answer —
+// memory, disk, peer — are served before taking a slot, so cached
+// lookups scale with the HTTP stack rather than the worker pool, and
+// concurrent identical misses coalesce onto one in-flight simulation
+// via a server-scope singleflight (flightGroup).
+//
+// Cluster mode (Config.Cluster, DESIGN.md §16) chains one more tier
+// and one forwarding rule into /api/run: a key missing from every
+// local tier is fetched raw from its rendezvous owner's store, and if
+// the owner has not computed it either, the whole request is proxied
+// to the owner (loop-guarded by cluster.HopHeader) so the owner's
+// flightGroup coalesces identical work cluster-wide. A down owner
+// fails open to local simulation, whose result is write-through
+// replicated to the owner once it returns.
 //
 // Telemetry: every request is assigned a trace ID at admission
 // (honoring a valid inbound X-Secmem-Trace-Id), which rides the
@@ -59,6 +75,7 @@ import (
 
 	"gpusecmem"
 	"gpusecmem/internal/checkpoint"
+	"gpusecmem/internal/cluster"
 	"gpusecmem/internal/report"
 	"gpusecmem/internal/resultcache"
 	"gpusecmem/internal/runner"
@@ -105,6 +122,11 @@ type Config struct {
 	// route, status, duration, serving tier) plus lifecycle events.
 	// nil disables request logging; build one with telemetry.NewLogger.
 	Logger *slog.Logger
+	// Cluster joins this daemon to a peer fleet (nil: single node).
+	// Peer serving wants a persistent Cache too — without one this
+	// node can answer no peer fetches. The caller starts the cluster's
+	// health-probe loop.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +219,7 @@ func observeRun(wall time.Duration) {
 type Server struct {
 	cfg       Config
 	mem       *memCache
+	flights   *flightGroup  // coalesces identical in-flight simulations
 	admission chan struct{} // Workers+QueueDepth slots: full => 429
 	workers   chan struct{} // Workers slots: queued requests block here
 	start     time.Time
@@ -220,6 +243,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		mem:       newMemCache(cfg.MemCacheEntries),
+		flights:   newFlightGroup(),
 		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers:   make(chan struct{}, cfg.Workers),
 		start:     time.Now(),
@@ -242,6 +266,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /api/catalogue", s.handleCatalogue)
 	mux.HandleFunc("GET /api/run", s.handleRun)
 	mux.HandleFunc("GET /api/experiment/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /api/cache", s.handleCacheGet)
+	mux.HandleFunc("PUT /api/cache", s.handleCachePut)
+	mux.HandleFunc("GET /api/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", telemetry.Default.Handler())
 	// The existing sweep debug layer: /progress, /debug/vars (which
@@ -416,10 +443,10 @@ func (s *Server) handleCatalogue(w http.ResponseWriter, r *http.Request) {
 // --- ad-hoc runs ---
 
 // runResponse is the /api/run payload. Source records where the
-// result came from — "memory", "disk", "resumed", or "simulated" — so
-// callers (and the CI smoke test) can assert cache behaviour. TraceID
-// repeats the X-Secmem-Trace-Id header for clients that only keep
-// bodies.
+// result came from — "memory", "disk", "peer", "resumed", or
+// "simulated" — so callers (and the CI smoke tests) can assert cache
+// and cluster behaviour. TraceID repeats the X-Secmem-Trace-Id header
+// for clients that only keep bodies.
 type runResponse struct {
 	Benchmark string          `json:"benchmark"`
 	Scheme    string          `json:"scheme"`
@@ -493,6 +520,38 @@ func validBenchmark(name string) bool {
 	return false
 }
 
+// writeRun renders one /api/run success: tier-attributed duration
+// metric, the X-Run-Source header, and the JSON payload.
+func (s *Server) writeRun(w http.ResponseWriter, r *http.Request, res *gpusecmem.Result, source, scheme, bench, key string, wall time.Duration) {
+	body, err := json.Marshal(res)
+	if err != nil {
+		httpError(w, r, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	met.runDur.With(source).Observe(uint64(wall.Microseconds()))
+	w.Header().Set("X-Run-Source", source)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(runResponse{
+		Benchmark: bench,
+		Scheme:    scheme,
+		Key:       runner.KeyDigest(key),
+		Source:    source,
+		TraceID:   telemetry.TraceID(r.Context()),
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Result:    body,
+	})
+}
+
+// handleRun serves one simulation in escalating cost order. Cached
+// tiers — memory, disk, and (clustered) the owner's store — answer
+// before admission, so cached lookups never wait on, or occupy, a
+// simulation slot. A miss on everything either forwards the whole
+// request to the key's live owner (cluster-wide coalescing; never
+// when the request already carries the hop guard) or admits and
+// simulates locally, with identical concurrent misses sharing one
+// flight.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	cfg, scheme, bench, err := parseRunConfig(r.URL.Query())
 	if err != nil {
@@ -503,6 +562,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, "unknown benchmark %q (see /api/catalogue)", bench)
 		return
 	}
+	key := gpusecmem.RunKey(cfg, bench)
+	t0 := time.Now()
+
+	view := s.newView(r.Context())
+	if res, ok := view.Get(key); ok {
+		view.count()
+		s.writeRun(w, r, res, view.source(), scheme, bench, key, time.Since(t0))
+		return
+	}
+	view.count()
+
+	if cl := s.cfg.Cluster; cl != nil && r.Header.Get(cluster.HopHeader) == "" {
+		if owner, self := cl.Owner(key); !self && cl.Up(owner) {
+			resp, err := cl.Forward(r, owner)
+			if err == nil {
+				met.forwarded.Inc()
+				proxyResponse(w, resp)
+				return
+			}
+			// Owner unreachable: fail open to a local simulation (the
+			// Forward call already marked the owner down, so the
+			// write-through in Put will skip it too).
+			met.forwardFallbacks.Inc()
+		}
+	}
 
 	ctx, release, ok := s.admit(w, r)
 	if !ok {
@@ -510,44 +594,46 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	// A fresh Context per request keeps cancellation private to this
-	// request; cross-request reuse comes from the shared cache view,
-	// which also attributes the result's source exactly.
-	view := s.newView()
-	gctx := gpusecmem.NewContext(gpusecmem.Options{Cycles: cfg.MaxCycles, Shards: s.cfg.Shards})
-	gctx.SetResultCache(view)
-	ckpt := s.armCheckpoints(gctx)
-	defer view.count()
-	defer ckpt.count()
-
-	t0 := time.Now()
-	res, err := gctx.RunE(ctx, cfg, bench)
+	res, source, shared, err := s.flights.do(ctx, key, func() (*gpusecmem.Result, string, error) {
+		// Re-check the cache under the flight: a request that queued
+		// behind the worker pool may find its result already landed.
+		v := s.newView(ctx)
+		if res, ok := v.Get(key); ok {
+			v.count()
+			return res, v.source(), nil
+		}
+		cfg := cfg
+		cfg.Shards = s.cfg.Shards // json:"-": does not change the key
+		var ck *ckptView
+		var res *gpusecmem.Result
+		var err error
+		if s.cfg.Checkpoints != nil {
+			ck = &ckptView{store: s.cfg.Checkpoints}
+			res, err = gpusecmem.SimulateCheckpointed(ctx, cfg, bench, ck, s.cfg.CheckpointEvery)
+		} else {
+			res, err = gpusecmem.SimulateContext(ctx, cfg, bench)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		v.Put(key, res)
+		v.count()
+		ck.count()
+		return res, ck.sourceOr("simulated"), nil
+	})
 	if err != nil {
 		httpError(w, r, s.failStatus(err), "%v", err)
 		return
 	}
 	wall := time.Since(t0)
-	observeRun(wall)
-	body, err := json.Marshal(res)
-	if err != nil {
-		httpError(w, r, http.StatusInternalServerError, "encode result: %v", err)
-		return
+	if shared {
+		met.coalesced.Inc()
+	} else {
+		// Only flight leaders feed the Retry-After mean: a coalesced
+		// waiter's wall time restates the same simulation.
+		observeRun(wall)
 	}
-	source := ckpt.sourceOr(view.source())
-	met.runDur.With(source).Observe(uint64(wall.Microseconds()))
-	w.Header().Set("X-Run-Source", source)
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(runResponse{
-		Benchmark: bench,
-		Scheme:    scheme,
-		Key:       runner.KeyDigest(gpusecmem.RunKey(cfg, bench)),
-		Source:    source,
-		TraceID:   telemetry.TraceID(r.Context()),
-		WallMS:    float64(wall.Microseconds()) / 1000,
-		Result:    body,
-	})
+	s.writeRun(w, r, res, source, scheme, bench, key, wall)
 }
 
 // --- experiment tables ---
@@ -596,7 +682,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	view := s.newView()
+	view := s.newView(ctx)
 	gctx := gpusecmem.NewContext(opts)
 	gctx.SetResultCache(view)
 	ckpt := s.armCheckpoints(gctx)

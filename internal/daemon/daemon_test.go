@@ -352,6 +352,13 @@ func TestMemCacheLRU(t *testing.T) {
 	if m.len() != 2 {
 		t.Fatalf("len = %d, want 2", m.len())
 	}
+	if got := m.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1 (b displaced by c)", got)
+	}
+	m.put("a", resB) // overwrite in place: not a capacity eviction
+	if got := m.evictions.Load(); got != 1 {
+		t.Fatalf("evictions after overwrite = %d, want still 1", got)
+	}
 
 	disabled := newMemCache(0)
 	disabled.put("x", resA)

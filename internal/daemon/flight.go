@@ -1,0 +1,78 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gpusecmem"
+)
+
+// runFlight is one in-flight local simulation shared by every request
+// asking for the same canonical key.
+type runFlight struct {
+	done   chan struct{}
+	res    *gpusecmem.Result
+	source string
+	err    error
+	// retry marks a flight whose leader was cancelled: waiters loop
+	// and re-lead under their own contexts instead of inheriting the
+	// leader's fate (the PR 5 memo contract, hoisted to server scope).
+	retry bool
+}
+
+// flightGroup coalesces identical simulation work across concurrent
+// requests — the server-scope singleflight that cluster forwarding
+// relies on: every member routes a key's misses to its owner, so the
+// owner's group dedupes identical in-flight work for the whole
+// cluster. It deliberately holds no completed results (the memory LRU
+// does that); entries live only while a simulation runs.
+//
+// Safe for concurrent use: the map is mutex-guarded and flight fields
+// are written only before done is closed.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*runFlight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*runFlight)}
+}
+
+// do runs fn once per key per flight: the first caller leads and
+// executes fn; concurrent callers with the same key wait and share
+// the outcome (shared=true). A waiter whose own ctx dies leaves with
+// ctx.Err(). If the leader's run is cancelled, waiters do not inherit
+// the cancellation — the flight is marked retry and each live waiter
+// loops to lead its own attempt.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*gpusecmem.Result, string, error)) (res *gpusecmem.Result, source string, shared bool, err error) {
+	for {
+		g.mu.Lock()
+		if f, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.retry {
+					continue
+				}
+				return f.res, f.source, true, f.err
+			case <-ctx.Done():
+				return nil, "", true, ctx.Err()
+			}
+		}
+		f := &runFlight{done: make(chan struct{})}
+		g.m[key] = f
+		g.mu.Unlock()
+
+		f.res, f.source, f.err = fn()
+		// Un-register before waking waiters so a retrying waiter can
+		// immediately lead a fresh flight.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		f.retry = f.err != nil &&
+			(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded))
+		close(f.done)
+		return f.res, f.source, false, f.err
+	}
+}

@@ -36,10 +36,16 @@ type instruments struct {
 	memMisses  *telemetry.Counter
 	diskHits   *telemetry.Counter
 	diskMisses *telemetry.Counter
+	peerHits   *telemetry.Counter
+	peerMisses *telemetry.Counter
 	simulated  *telemetry.Counter
 	resumed    *telemetry.Counter
 	saved      *telemetry.Counter
-	runDur     *telemetry.HistogramVec // tier: memory|disk|simulated|resumed
+	runDur     *telemetry.HistogramVec // tier: memory|disk|peer|simulated|resumed
+
+	forwarded        *telemetry.Counter
+	forwardFallbacks *telemetry.Counter
+	coalesced        *telemetry.Counter
 
 	ckptRestoreUs *telemetry.Histogram
 	ckptSaveUs    *telemetry.Histogram
@@ -77,6 +83,10 @@ func initInstruments() {
 			saved:     reg.Counter("gpusecmem_checkpoint_saves_total", "checkpoints written while serving"),
 			runDur:    reg.HistogramVec("gpusecmem_run_duration_us", "end-to-end request simulation time in microseconds by serving tier", "tier"),
 
+			forwarded:        reg.Counter("gpusecmem_cluster_forwards_total", "/api/run requests proxied to the key's owner for cluster-wide coalescing"),
+			forwardFallbacks: reg.Counter("gpusecmem_cluster_forward_fallbacks_total", "forwards abandoned for local simulation because the owner was down or unreachable"),
+			coalesced:        reg.Counter("gpusecmem_coalesced_requests_total", "requests that shared another request's in-flight simulation instead of running their own"),
+
 			ckptRestoreUs: reg.Histogram("gpusecmem_checkpoint_restore_us", "checkpoint store Latest (restore lookup) latency in microseconds"),
 			ckptSaveUs:    reg.Histogram("gpusecmem_checkpoint_save_us", "checkpoint store Put (snapshot write) latency in microseconds"),
 		}
@@ -84,6 +94,7 @@ func initInstruments() {
 		misses := reg.CounterVec("gpusecmem_cache_misses_total", "result-cache misses by tier", "tier")
 		met.memHits, met.memMisses = hits.With("memory"), misses.With("memory")
 		met.diskHits, met.diskMisses = hits.With("disk"), misses.With("disk")
+		met.peerHits, met.peerMisses = hits.With("peer"), misses.With("peer")
 
 		// The Retry-After inputs, surfaced so overload behaviour is
 		// observable: the derived mean completed-run wall time and the
@@ -110,6 +121,9 @@ func (s *Server) registerServerViews() {
 	reg.GaugeFunc("gpusecmem_memcache_entries", "entries in the in-process result LRU", func() float64 {
 		return float64(s.mem.len())
 	})
+	reg.CounterFunc("gpusecmem_cache_evictions_total", "results evicted from the in-process LRU by capacity pressure", func() float64 {
+		return float64(s.mem.evictions.Load())
+	})
 	if cs, ok := s.cfg.Cache.(interface{ Stats() resultcache.Stats }); ok {
 		reg.CounterFunc("gpusecmem_resultcache_hits_total", "persistent result store hits", func() float64 { return float64(cs.Stats().Hits) })
 		reg.CounterFunc("gpusecmem_resultcache_misses_total", "persistent result store misses", func() float64 { return float64(cs.Stats().Misses) })
@@ -133,6 +147,10 @@ func routeLabel(path string) string {
 		return "/api/run"
 	case path == "/api/catalogue":
 		return "/api/catalogue"
+	case path == "/api/cache":
+		return "/api/cache"
+	case path == "/api/cluster":
+		return "/api/cluster"
 	case strings.HasPrefix(path, "/api/experiment/"):
 		return "/api/experiment"
 	case path == "/healthz":

@@ -9,7 +9,10 @@
 // Entries are gob-encoded sim.Result values wrapped in a schema/key
 // envelope and written via atomicfile (temp + rename), so a crashed or
 // cancelled writer never leaves a truncated entry; a corrupt or
-// foreign file reads as a miss and is removed. Only successful runs
+// foreign file reads as a miss and is removed. The envelope is also
+// the cluster wire format: GetRaw/PutRaw move the exact on-disk bytes
+// between peers with validation but no re-encode (DESIGN.md §16), so
+// an entry is encoded once no matter how many nodes serve it. Only successful runs
 // are stored — errors stay in the in-memory memo where retry policy
 // lives. The retained Chrome-trace span records of a probed run are
 // not persisted (they are unexported scratch for trace export, which
@@ -26,6 +29,7 @@
 package resultcache
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
@@ -51,6 +55,44 @@ type entry struct {
 	Schema string
 	Key    string
 	Result *sim.Result
+}
+
+// EncodeEnvelope renders the wire/disk form of one entry: the gob
+// encoding of the schema/key envelope wrapping res. It is what Put
+// writes and what GetRaw returns, exposed so the cluster tier can
+// push a freshly simulated result to its owner without a second
+// encode at the receiver.
+func EncodeEnvelope(key string, res *sim.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("resultcache: nil result")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entry{Schema: Schema, Key: key, Result: res}); err != nil {
+		return nil, fmt.Errorf("resultcache: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeEnvelope validates and opens a raw envelope: the schema must
+// match, the embedded canonical key must equal key (so a digest
+// collision, a hand-copied file, or a peer answering the wrong
+// question can never serve the wrong result), and the result must be
+// present. The returned Result is a fresh decode owned by the caller.
+func DecodeEnvelope(raw []byte, key string) (*sim.Result, error) {
+	var e entry
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("resultcache: decode: %w", err)
+	}
+	if e.Schema != Schema {
+		return nil, fmt.Errorf("resultcache: schema %q, want %q", e.Schema, Schema)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("resultcache: envelope key mismatch")
+	}
+	if e.Result == nil {
+		return nil, fmt.Errorf("resultcache: envelope holds no result")
+	}
+	return e.Result, nil
 }
 
 // Stats counts cache behaviour since Open.
@@ -94,50 +136,94 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, digest[:2], digest+".gob")
 }
 
-// Get returns the stored result for key, or (nil, false). A corrupt,
-// truncated, or mismatched entry is removed and reported as a miss.
-func (c *Cache) Get(key string) (*sim.Result, bool) {
+// read is the shared load path under Get and GetRaw: it reads the
+// entry file whole, validates the envelope, and self-heals — a
+// corrupt, truncated, or mismatched entry is removed, counted as an
+// error, and reported as a miss.
+func (c *Cache) read(key string) (raw []byte, res *sim.Result, ok bool) {
 	path := c.path(key)
-	f, err := os.Open(path)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
-	defer f.Close()
-	var e entry
-	if err := gob.NewDecoder(f).Decode(&e); err != nil ||
-		e.Schema != Schema || e.Key != key || e.Result == nil {
+	res, err = DecodeEnvelope(raw, key)
+	if err != nil {
 		// Unreadable or foreign: self-heal by dropping the file so the
 		// next Put rewrites it.
 		os.Remove(path)
 		c.errs.Add(1)
 		c.misses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits.Add(1)
-	return e.Result, true
+	return raw, res, true
+}
+
+// Get returns the stored result for key, or (nil, false). A corrupt,
+// truncated, or mismatched entry is removed and reported as a miss.
+func (c *Cache) Get(key string) (*sim.Result, bool) {
+	_, res, ok := c.read(key)
+	return res, ok
+}
+
+// GetRaw returns the exact on-disk envelope bytes for key, validated
+// (same self-heal-as-miss semantics as Get) but never re-encoded —
+// the hot half of the peer proxy path: a daemon serving a peer fetch
+// hands the bytes straight from disk to the wire, and the receiving
+// peer stores them verbatim with PutRaw, so a result is encoded once
+// cluster-wide. The slice is fresh and owned by the caller.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	raw, _, ok := c.read(key)
+	return raw, ok
+}
+
+// write atomically installs raw (an already-encoded envelope) as
+// key's entry. Best-effort like Put.
+func (c *Cache) write(key string, raw []byte) error {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.errs.Add(1)
+		return err
+	}
+	err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	})
+	if err != nil {
+		c.errs.Add(1)
+		return err
+	}
+	c.puts.Add(1)
+	return nil
 }
 
 // Put stores res under key, atomically. Best-effort: a failed write
 // is counted and swallowed — the cache must never fail the run that
 // produced the result.
 func (c *Cache) Put(key string, res *sim.Result) {
-	if res == nil {
-		return
-	}
-	path := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		c.errs.Add(1)
-		return
-	}
-	err := atomicfile.WriteFile(path, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(entry{Schema: Schema, Key: key, Result: res})
-	})
+	raw, err := EncodeEnvelope(key, res)
 	if err != nil {
-		c.errs.Add(1)
+		if res != nil {
+			c.errs.Add(1)
+		}
 		return
 	}
-	c.puts.Add(1)
+	c.write(key, raw)
+}
+
+// PutRaw stores an already-encoded envelope under key, verbatim —
+// the other half of the zero-re-encode proxy path. Unlike Put it
+// validates first (the bytes came off a network) and reports the
+// error: a raw envelope that does not decode, or whose embedded key
+// disagrees, is rejected rather than planted for a later Get to
+// self-heal away.
+func (c *Cache) PutRaw(key string, raw []byte) error {
+	if _, err := DecodeEnvelope(raw, key); err != nil {
+		c.errs.Add(1)
+		return err
+	}
+	return c.write(key, raw)
 }
 
 // Stats snapshots the counters.

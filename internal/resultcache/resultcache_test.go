@@ -210,3 +210,133 @@ func TestLenCountsEntries(t *testing.T) {
 		t.Fatalf("Len = %d, want 2", n)
 	}
 }
+
+// TestRawRoundTripBitIdentity pins the peer-proxy contract: the raw
+// envelope a node serves (GetRaw) is the exact bytes its store holds;
+// a peer installing them verbatim (PutRaw) reproduces the entry bit-
+// for-bit; and the typed view decoded from the raw path renders the
+// same canonical JSON as the typed Put/Get path — so a result served
+// through any number of peer hops is byte-identical to a direct
+// library run.
+func TestRawRoundTripBitIdentity(t *testing.T) {
+	owner, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 1500)
+	const key = "cfg-json|nw-raw"
+	owner.Put(key, res)
+
+	raw, ok := owner.GetRaw(key)
+	if !ok {
+		t.Fatal("GetRaw missed after Put")
+	}
+	onDisk, err := os.ReadFile(owner.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(onDisk) {
+		t.Fatal("GetRaw bytes differ from the on-disk entry")
+	}
+
+	// A second node installs the fetched bytes verbatim.
+	peer, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.PutRaw(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	raw2, ok := peer.GetRaw(key)
+	if !ok || string(raw2) != string(raw) {
+		t.Fatal("PutRaw/GetRaw did not preserve the envelope bit-for-bit")
+	}
+
+	got, ok := peer.Get(key)
+	if !ok {
+		t.Fatal("typed Get missed after PutRaw")
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("raw hop changed canonical JSON:\nwant %s\nhave %s", want, have)
+	}
+}
+
+// TestEncodeDecodeEnvelope covers the exported codec pair the cluster
+// push path uses, including every rejection reason.
+func TestEncodeDecodeEnvelope(t *testing.T) {
+	res := simulate(t, 1500)
+	const key = "envelope-key|nw"
+	raw, err := EncodeEnvelope(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(raw, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatal("envelope round trip changed the result")
+	}
+
+	if _, err := EncodeEnvelope(key, nil); err == nil {
+		t.Fatal("EncodeEnvelope accepted a nil result")
+	}
+	if _, err := DecodeEnvelope(raw, "some-other-key"); err == nil {
+		t.Fatal("DecodeEnvelope accepted a key mismatch")
+	}
+	if _, err := DecodeEnvelope(raw[:len(raw)/2], key); err == nil {
+		t.Fatal("DecodeEnvelope accepted a truncated envelope")
+	}
+	if _, err := DecodeEnvelope([]byte("garbage"), key); err == nil {
+		t.Fatal("DecodeEnvelope accepted garbage")
+	}
+}
+
+// TestPutRawRejectsBadEnvelopes: PutRaw validates before writing —
+// network bytes never land on disk unchecked — and GetRaw keeps the
+// same self-heal-as-miss semantics as Get for entries corrupted
+// after the fact.
+func TestPutRawRejectsBadEnvelopes(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := simulate(t, 1500)
+	const key = "putraw-key|nw"
+	raw, err := EncodeEnvelope(key, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.PutRaw("a-different-key", raw); err == nil {
+		t.Fatal("PutRaw accepted an envelope for the wrong key")
+	}
+	if err := c.PutRaw(key, []byte("junk")); err == nil {
+		t.Fatal("PutRaw accepted junk")
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected PutRaw left a file behind")
+	}
+	if st := c.Stats(); st.Errors != 2 {
+		t.Fatalf("stats = %+v, want 2 errors", st)
+	}
+
+	if err := c.PutRaw(key, raw); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored entry in place: GetRaw must miss, count an
+	// error, and remove the file (identical to Get's self-heal).
+	if err := os.WriteFile(c.path(key), raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetRaw(key); ok {
+		t.Fatal("GetRaw served a truncated entry")
+	}
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Fatal("GetRaw did not self-heal the corrupt entry away")
+	}
+}
