@@ -157,27 +157,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	// Merge the per-worker tallies.
-	total := workerStats{sources: map[string]uint64{}, codes: map[int]uint64{}}
-	for i := range stats {
-		s := &stats[i]
-		total.requests += s.requests
-		total.errors += s.errors
-		total.lat.Count += s.lat.Count
-		total.lat.Sum += s.lat.Sum
-		if s.lat.Max > total.lat.Max {
-			total.lat.Max = s.lat.Max
-		}
-		for b, n := range s.lat.Buckets {
-			total.lat.Buckets[b] += n
-		}
-		for src, n := range s.sources {
-			total.sources[src] += n
-		}
-		for code, n := range s.codes {
-			total.codes[code] += n
-		}
-	}
+	total := mergeStats(stats)
 
 	rep := report{
 		Schema:    "gpusecmem-loadgen/1",
@@ -221,6 +201,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: %d/%d requests failed\n", total.errors, total.requests)
 		os.Exit(1)
 	}
+}
+
+// mergeStats folds the per-worker tallies into one. Counts and
+// histogram buckets sum; Max is the max of maxes, so the merged
+// histogram answers quantiles exactly as if one worker had observed
+// every latency.
+func mergeStats(stats []workerStats) workerStats {
+	total := workerStats{sources: map[string]uint64{}, codes: map[int]uint64{}}
+	for i := range stats {
+		s := &stats[i]
+		total.requests += s.requests
+		total.errors += s.errors
+		total.lat.Count += s.lat.Count
+		total.lat.Sum += s.lat.Sum
+		if s.lat.Max > total.lat.Max {
+			total.lat.Max = s.lat.Max
+		}
+		for b, n := range s.lat.Buckets {
+			total.lat.Buckets[b] += n
+		}
+		for src, n := range s.sources {
+			total.sources[src] += n
+		}
+		for code, n := range s.codes {
+			total.codes[code] += n
+		}
+	}
+	return total
 }
 
 // warmKeys simulates every key once, round-robin over the targets, so

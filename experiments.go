@@ -598,7 +598,7 @@ func Experiments() []Experiment {
 		expAblationMergeCap(), expAblationAllocPolicy(), expAblationSpecVerify(),
 		expAblationLazyUpdate(), expAblationSectoredL2(),
 		expExtSmartUnified(), expExtSelective(), expExtFaultCoverage(),
-		expExtLatency(),
+		expExtLatency(), expExtDesignspace(),
 	}
 }
 
@@ -1416,13 +1416,15 @@ func expExtLatency() Experiment {
 				{"ctr_bmt", schemes["ctr_bmt"]()},
 				{"ctr_mac_bmt", SecureMemConfig()},
 				{"direct_mac_mt", schemes["direct_mac_mt"]()},
+				{"scattered", schemes["scattered"]()},
+				{"sw_crypto", schemes["sw_crypto"]()},
 			}
 			pc := &probe.Config{Spans: true}
 			stagesT := report.New("Data-request latency attribution (share of data-path cycles)",
 				"scheme", "benchmark", "spans", "mean", "p95",
-				"queue", "l2", "dram", "meta", "aes", "verify")
-			metaT := report.New("Metadata cycles vs AES cycles (data meta-wait + ctr/mac/bmt traffic residency)",
-				"scheme", "benchmark", "data meta", "ctr", "mac", "bmt", "metadata total", "aes", "meta/aes")
+				"queue", "l2", "dram", "meta", "aes", "verify", "share", "combine")
+			metaT := report.New("Metadata cycles vs AES cycles (data meta-wait + metadata traffic residency)",
+				"scheme", "benchmark", "data meta", "ctr", "mac", "bmt", "smap", "key", "metadata total", "aes", "meta/aes")
 			for _, lv := range levels {
 				for _, b := range ablationBenchmarks(c) {
 					cfg := lv.Cfg
@@ -1442,7 +1444,8 @@ func expExtLatency() Experiment {
 					stagesT.AddRow(lv.Name, b, data.Spans,
 						fmt.Sprintf("%.0f", data.MeanLatency), data.P95,
 						share("queue"), share("l2"), share("dram"),
-						share("meta"), share("aes"), share("verify"))
+						share("meta"), share("aes"), share("verify"),
+						share("share"), share("combine"))
 					traffic := func(kind string) uint64 {
 						if k := sp.Kind(kind); k != nil {
 							return k.TotalCycles
@@ -1451,16 +1454,81 @@ func expExtLatency() Experiment {
 					}
 					dmeta := sp.Stage("data", "meta")
 					ctr, mac, bmt := traffic("ctr"), traffic("mac"), traffic("bmt")
-					metaTotal := dmeta + ctr + mac + bmt
+					smap, key := traffic("smap"), traffic("key")
+					metaTotal := dmeta + ctr + mac + bmt + smap + key
 					aes := sp.Stage("data", "aes")
 					ratio := "-"
 					if aes > 0 {
 						ratio = report.F3(float64(metaTotal) / float64(aes))
 					}
-					metaT.AddRow(lv.Name, b, dmeta, ctr, mac, bmt, metaTotal, aes, ratio)
+					metaT.AddRow(lv.Name, b, dmeta, ctr, mac, bmt, smap, key, metaTotal, aes, ratio)
 				}
 			}
 			return []*report.Table{stagesT, metaT}
+		},
+	}
+}
+
+// expExtDesignspace grows the paper's design space sideways: the
+// hardware schemes it evaluates (counter mode, direct encryption) are
+// compared against two post-paper families — Secure Scattered Memory
+// (secret-shared placement, arXiv:2402.15824) and MemShield-style
+// software encryption (arXiv:2004.09252) — on the same benchmarks,
+// with the same normalized-IPC metric plus each family's own traffic
+// and metadata-structure costs. Scattered trades the whole AES/MAC/BMT
+// stack for a k-times data-traffic multiplier and a share-map cache;
+// software crypto trades all hardware for a serial software cipher
+// whose key reads are uncached.
+func expExtDesignspace() Experiment {
+	return Experiment{
+		ID:    "ext-designspace",
+		Title: "Extension: design-space comparison across scheme families",
+		PaperFinding: "(beyond the paper) finding 4 generalizes: the families win or lose on " +
+			"memory traffic and critical-path serialization, not cipher strength — scattered's " +
+			"k-way fan-out behaves like a bandwidth tax, software crypto like a latency wall",
+		Run: func(c *Context) []*report.Table {
+			families := []struct {
+				Name string
+				Cfg  Config
+			}{
+				{"ctr_mac_bmt", SecureMemConfig()},
+				{"direct_mac_mt", schemes["direct_mac_mt"]()},
+				{"scattered_k2", ScatteredMemConfig(2)},
+				{"scattered_k4", ScatteredMemConfig(4)},
+				{"sw_crypto_80", SWCryptoConfig(80)},
+				{"sw_crypto_320", SWCryptoConfig(320)},
+			}
+			ipcT := normalizedIPCTable(c, "Normalized IPC across scheme families", families)
+			trafficT := report.New("DRAM request mix by traffic kind (share of the scheme's requests)",
+				"scheme", "benchmark", "requests",
+				"data", "ctr", "mac", "bmt", "wb", "share", "smap", "key", "vs baseline")
+			metaT := report.New("Metadata structures: accesses and miss behaviour",
+				"scheme", "benchmark", "type", "accesses", "miss rate", "secondary")
+			for _, f := range families {
+				for _, b := range ablationBenchmarks(c) {
+					res := c.Run(f.Cfg, b)
+					base := c.Run(BaselineConfig(), b)
+					row := []interface{}{f.Name, b, res.TotalRequests()}
+					for k := sim.KindData; k < sim.TrafficKind(len(res.RequestsByKind)); k++ {
+						row = append(row, report.Pct(res.RequestShare(k)))
+					}
+					overhead := "-"
+					if br := base.TotalRequests(); br > 0 {
+						overhead = report.F3(float64(res.TotalRequests()) / float64(br))
+					}
+					row = append(row, overhead)
+					trafficT.AddRow(row...)
+					for m := sim.MetaKind(0); m < sim.MetaKind(len(res.Meta)); m++ {
+						ms := res.Meta[m]
+						if ms.Accesses == 0 {
+							continue
+						}
+						metaT.AddRow(f.Name, b, m.String(), ms.Accesses,
+							report.Pct(ms.MissRate()), report.Pct(ms.SecondaryRatio()))
+					}
+				}
+			}
+			return []*report.Table{ipcT, trafficT, metaT}
 		},
 	}
 }

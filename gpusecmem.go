@@ -109,6 +109,14 @@ const (
 	EncNone    = sim.EncNone
 	EncCounter = sim.EncCounter
 	EncDirect  = sim.EncDirect
+	// EncScattered is secret-shared line placement (Secure Scattered
+	// Memory, arXiv:2402.15824): no AES/MAC/BMT; reads fan out to
+	// ScatterShares shares gated by a share-map cache.
+	EncScattered = sim.EncScattered
+	// EncSWCrypto is a MemShield-style software-encryption baseline
+	// (arXiv:2004.09252): per-sector software cipher cycles plus
+	// key-table reads through a single software key register.
+	EncSWCrypto = sim.EncSWCrypto
 )
 
 // BaselineConfig returns the paper's Table I GPU with secure memory
@@ -125,6 +133,14 @@ func SecureMemConfig() Config { return sim.SecureMem() }
 func DirectMemConfig(aesLatency int, mac, tree bool) Config {
 	return sim.DirectMem(aesLatency, mac, tree)
 }
+
+// ScatteredMemConfig returns the Table I GPU with secret-shared line
+// placement at the given share fan-out (2..8).
+func ScatteredMemConfig(shares int) Config { return sim.Scattered(shares) }
+
+// SWCryptoConfig returns the Table I GPU with MemShield-style software
+// encryption at the given per-sector software cipher latency.
+func SWCryptoConfig(cycles int) Config { return sim.SWCrypto(cycles) }
 
 // Simulate runs one benchmark on one configuration.
 func Simulate(cfg Config, benchmark string) (*Result, error) {

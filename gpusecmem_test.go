@@ -93,7 +93,7 @@ func TestExperimentRegistry(t *testing.T) {
 		"fig13", "fig14", "fig15", "fig16", "fig17",
 		"ablation-mergecap", "ablation-allocpolicy", "ablation-specverify",
 		"ablation-lazyupdate", "ablation-sectoredl2", "ext-smartunified", "ext-selective",
-		"ext-faultcoverage", "ext-latency",
+		"ext-faultcoverage", "ext-latency", "ext-designspace",
 	}
 	if len(exps) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))

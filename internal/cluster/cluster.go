@@ -30,6 +30,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,7 @@ type Cluster struct {
 	ring       *Ring
 	client     *http.Client
 	probeEvery time.Duration
+	timeout    time.Duration         // per-call deadline (probes included)
 	peers      map[string]*peerState // remote members only
 }
 
@@ -135,6 +137,7 @@ func New(cfg Config) (*Cluster, error) {
 		ring:       ring,
 		client:     client,
 		probeEvery: cfg.ProbeEvery,
+		timeout:    cfg.Timeout,
 		peers:      make(map[string]*peerState),
 	}
 	for _, n := range ring.Nodes() {
@@ -223,9 +226,13 @@ func (c *Cluster) ProbeAll(ctx context.Context) {
 	wg.Wait()
 }
 
-// probe GETs one peer's /healthz.
+// probe GETs one peer's /healthz. The deadline is the configured
+// per-call Timeout, NOT the probe interval: an aggressive -probe-every
+// (say 100ms) must make probes more frequent, not less patient — a
+// healthy peer whose /healthz takes longer than the interval would
+// otherwise be flapped down on every tick.
 func (c *Cluster) probe(ctx context.Context, node string) {
-	ctx, cancel := context.WithTimeout(ctx, c.probeEvery)
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	t0 := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
@@ -332,11 +339,13 @@ func (c *Cluster) PushRaw(ctx context.Context, node, key string, raw []byte) err
 // work. The caller owns resp.Body.
 func (c *Cluster) Forward(r *http.Request, node string) (*http.Response, error) {
 	t0 := time.Now()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, node+r.URL.RequestURI(), nil)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, node+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		met.reqs.With("forward", "error").Inc()
 		return nil, err
 	}
+	req.ContentLength = r.ContentLength
+	copyEndToEndHeaders(req.Header, r.Header)
 	req.Header.Set(HopHeader, c.self)
 	if id := telemetry.TraceID(r.Context()); id != "" {
 		req.Header.Set(telemetry.TraceHeader, id)
@@ -351,6 +360,44 @@ func (c *Cluster) Forward(r *http.Request, node string) (*http.Response, error) 
 	c.setUp(node, true)
 	met.reqs.With("forward", "ok").Inc()
 	return resp, nil
+}
+
+// hopByHop lists the headers RFC 9110 §7.6.1 forbids a proxy from
+// passing along; everything else on the inbound request is end-to-end
+// and must survive the forward (Content-Type on a POST body,
+// Accept/Accept-Encoding, auth headers a fronting proxy added).
+var hopByHop = []string{
+	"Connection",
+	"Keep-Alive",
+	"Proxy-Authenticate",
+	"Proxy-Authorization",
+	"Proxy-Connection",
+	"Te",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// copyEndToEndHeaders copies src into dst minus the hop-by-hop set and
+// anything the Connection header itself names.
+func copyEndToEndHeaders(dst, src http.Header) {
+	drop := make(map[string]bool, len(hopByHop))
+	for _, h := range hopByHop {
+		drop[h] = true
+	}
+	for _, v := range src.Values("Connection") {
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				drop[http.CanonicalHeaderKey(name)] = true
+			}
+		}
+	}
+	for k, vs := range src {
+		if drop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		dst[k] = append(dst[k], vs...)
+	}
 }
 
 // Status is one member's row in the /api/cluster view.

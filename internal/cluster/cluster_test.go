@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -168,6 +169,89 @@ func TestForwardHopGuard(t *testing.T) {
 	}
 	if c.Up(owner.URL) {
 		t.Fatal("dead owner not marked down by failed forward")
+	}
+}
+
+// TestProbeSlowHealthzNoFlap is the regression test for probe
+// deadlines: probes are bounded by the configured per-call Timeout,
+// not the probe interval. With an aggressive interval (20ms) and a
+// /healthz slower than it (150ms) but well inside the 2s Timeout, a
+// healthy peer must stay up; the old interval-derived deadline timed
+// out every tick and flapped it down.
+func TestProbeSlowHealthzNoFlap(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(150 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c, err := New(Config{
+		Self:       "http://self.invalid:1",
+		Peers:      []string{peer.URL},
+		Timeout:    2 * time.Second,
+		ProbeEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.ProbeAll(context.Background())
+		if !c.Up(peer.URL) {
+			t.Fatalf("probe %d flapped a healthy-but-slow peer down", i)
+		}
+	}
+}
+
+// TestForwardPOSTRoundTrip pins the proxy contract for requests with
+// bodies: the inbound body streams through to the owner, end-to-end
+// headers (Content-Type, Accept, plus anything a fronting proxy
+// added) survive, and hop-by-hop headers — both the fixed RFC set and
+// whatever the Connection header names — are stripped.
+func TestForwardPOSTRoundTrip(t *testing.T) {
+	var gotBody, gotHeader atomic.Value
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, 64)
+		n, _ := r.Body.Read(b)
+		gotBody.Store(string(b[:n]))
+		gotHeader.Store(r.Header.Clone())
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer owner.Close()
+	c := newCluster(t, "http://self.invalid:1", owner.URL)
+
+	in := httptest.NewRequest(http.MethodPost, "/api/run?bench=nw", strings.NewReader(`{"p":1}`))
+	in.Header.Set("Content-Type", "application/json")
+	in.Header.Set("Accept", "text/csv")
+	in.Header.Set("X-Forwarded-For", "10.0.0.9")
+	in.Header.Set("Connection", "X-Per-Hop")
+	in.Header.Set("X-Per-Hop", "drop-me")
+	in.Header.Set("TE", "trailers")
+	in.Header.Set("Upgrade", "h2c")
+
+	resp, err := c.Forward(in, owner.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if gotBody.Load() != `{"p":1}` {
+		t.Fatalf("forwarded body = %q, want the POST payload", gotBody.Load())
+	}
+	h := gotHeader.Load().(http.Header)
+	for name, want := range map[string]string{
+		"Content-Type":    "application/json",
+		"Accept":          "text/csv",
+		"X-Forwarded-For": "10.0.0.9",
+		HopHeader:         "http://self.invalid:1",
+	} {
+		if got := h.Get(name); got != want {
+			t.Errorf("end-to-end header %s = %q, want %q", name, got, want)
+		}
+	}
+	for _, name := range []string{"X-Per-Hop", "TE", "Upgrade", "Connection"} {
+		if got := h.Get(name); got != "" {
+			t.Errorf("hop-by-hop header %s leaked through the forward: %q", name, got)
+		}
 	}
 }
 

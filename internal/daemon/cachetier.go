@@ -163,8 +163,14 @@ func (v *cacheView) Put(key string, res *gpusecmem.Result) {
 	}
 	if v.disk != nil {
 		if rs, ok := v.disk.(rawStore); ok && raw != nil {
-			rs.PutRaw(key, raw)
-			return
+			if err := rs.PutRaw(key, raw); err == nil {
+				return
+			}
+			// A failed raw write must not strand a freshly simulated
+			// result in memory only: fall through to the typed Put so
+			// the disk tier still gets it (counted so a flaky store is
+			// visible, not silent).
+			met.putRawFallbacks.Inc()
 		}
 		v.disk.Put(key, res)
 	}

@@ -3,6 +3,7 @@ package daemon
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -286,6 +287,90 @@ func TestClusterFailOpen(t *testing.T) {
 	}
 	if got.Source != "memory" {
 		t.Fatalf("post-failure source = %q, want memory", got.Source)
+	}
+}
+
+// failingRawStore wraps a real persistent store but refuses every raw
+// envelope write, so tests can pin the typed-Put fallback path.
+type failingRawStore struct {
+	gpusecmem.ResultCache
+	putRawCalls atomic.Int32
+}
+
+func (f *failingRawStore) GetRaw(string) ([]byte, bool) { return nil, false }
+
+func (f *failingRawStore) PutRaw(string, []byte) error {
+	f.putRawCalls.Add(1)
+	return errors.New("injected raw-store failure")
+}
+
+// TestPutRawFailureFallsBackToTypedPut is the write-through regression
+// test: in cluster mode the local disk write uses the already-encoded
+// raw envelope, and when that PutRaw fails the result must still land
+// in the disk tier via the typed Put — not evaporate silently. The
+// run goes to the non-owner with the hop guard set, so it simulates
+// locally and takes the raw write-through path.
+func TestPutRawFailureFallsBackToTypedPut(t *testing.T) {
+	ls, urls := reserveListeners(t, 2)
+	key := clusterRunKey(t)
+	_, otherIdx := pickOwnerNonOwner(t, key, urls)
+
+	disk, err := resultcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := &failingRawStore{ResultCache: disk}
+	for i := range ls {
+		cl, err := cluster.New(cluster.Config{
+			Self:    urls[i],
+			Peers:   []string{urls[1-i]},
+			Timeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cache gpusecmem.ResultCache
+		if i == otherIdx {
+			cache = failing
+		} else {
+			if cache, err = resultcache.Open(t.TempDir()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		startNode(t, ls[i], New(Config{Cache: cache, Cluster: cl}).Handler())
+	}
+	fallbacksBefore := met.putRawFallbacks.Value()
+
+	req, err := http.NewRequest(http.MethodGet, urls[otherIdx]+"/api/run?"+clusterRunQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.HopHeader, "http://somewhere.else")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || body.Source != "simulated" {
+		t.Fatalf("status %d source %q, want 200 simulated", resp.StatusCode, body.Source)
+	}
+
+	if n := failing.putRawCalls.Load(); n == 0 {
+		t.Fatal("test never exercised the raw write path")
+	}
+	if got := met.putRawFallbacks.Value(); got == fallbacksBefore {
+		t.Fatal("PutRaw failure not counted in gpusecmem_cache_putraw_fallbacks_total")
+	}
+	// The acceptance pin: despite the failed raw write, the result is in
+	// the disk tier under its canonical key via the typed fallback.
+	if _, ok := disk.Get(key); !ok {
+		t.Fatal("PutRaw failure lost the result: not found in the disk tier")
 	}
 }
 

@@ -32,13 +32,14 @@ type instruments struct {
 	httpReqs *telemetry.CounterVec   // route, code
 	httpDur  *telemetry.HistogramVec // route
 
-	memHits    *telemetry.Counter
-	memMisses  *telemetry.Counter
-	diskHits   *telemetry.Counter
-	diskMisses *telemetry.Counter
-	peerHits   *telemetry.Counter
-	peerMisses *telemetry.Counter
-	simulated  *telemetry.Counter
+	memHits         *telemetry.Counter
+	memMisses       *telemetry.Counter
+	diskHits        *telemetry.Counter
+	diskMisses      *telemetry.Counter
+	peerHits        *telemetry.Counter
+	peerMisses      *telemetry.Counter
+	putRawFallbacks *telemetry.Counter
+	simulated       *telemetry.Counter
 	resumed    *telemetry.Counter
 	saved      *telemetry.Counter
 	runDur     *telemetry.HistogramVec // tier: memory|disk|peer|simulated|resumed
@@ -78,7 +79,8 @@ func initInstruments() {
 			httpReqs: reg.CounterVec("gpusecmem_http_requests_total", "HTTP requests by route bucket and status code", "route", "code"),
 			httpDur:  reg.HistogramVec("gpusecmem_http_request_duration_us", "HTTP request duration in microseconds by route bucket", "route"),
 
-			simulated: reg.Counter("gpusecmem_runs_simulated_total", "requests that ran a fresh simulation"),
+			putRawFallbacks: reg.Counter("gpusecmem_cache_putraw_fallbacks_total", "raw envelope writes that failed and fell back to a typed disk Put"),
+			simulated:       reg.Counter("gpusecmem_runs_simulated_total", "requests that ran a fresh simulation"),
 			resumed:   reg.Counter("gpusecmem_checkpoint_restores_total", "served simulations resumed from a checkpoint"),
 			saved:     reg.Counter("gpusecmem_checkpoint_saves_total", "checkpoints written while serving"),
 			runDur:    reg.HistogramVec("gpusecmem_run_duration_us", "end-to-end request simulation time in microseconds by serving tier", "tier"),

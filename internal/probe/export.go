@@ -104,8 +104,11 @@ type traceEvent struct {
 
 // traceStageOrder lays span stages on the trace timeline in rough
 // chronological order (queue transit first, verification last).
+// Every stage must appear exactly once: a missing entry leaves a
+// zero-valued slot that re-emits StageQueue per span.
 var traceStageOrder = [NumStages]Stage{
-	StageQueue, StageL2, StageDRAM, StageMeta, StageAES, StageVerify,
+	StageQueue, StageL2, StageDRAM, StageMeta,
+	StageShareFetch, StageCombine, StageAES, StageVerify,
 }
 
 // WriteChromeTrace emits the report's retained span records in Chrome

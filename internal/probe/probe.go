@@ -50,17 +50,27 @@ const (
 	// StageVerify is blocking MAC verification time (zero under
 	// speculative verification, where the check runs in background).
 	StageVerify
+	// StageShareFetch is the secret-share fan-out window of a
+	// scattered-memory read: from the placement answer to the last
+	// share's arrival. Zero for every non-scattered scheme. (Named
+	// apart from the StageShare report struct below.)
+	StageShareFetch
+	// StageCombine is the share-reconstruction (XOR combine) time of a
+	// scattered-memory read after its last share lands.
+	StageCombine
 	// NumStages bounds the stage space.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	StageQueue:  "queue",
-	StageL2:     "l2",
-	StageDRAM:   "dram",
-	StageMeta:   "meta",
-	StageAES:    "aes",
-	StageVerify: "verify",
+	StageQueue:      "queue",
+	StageL2:         "l2",
+	StageDRAM:       "dram",
+	StageMeta:       "meta",
+	StageAES:        "aes",
+	StageVerify:     "verify",
+	StageShareFetch: "share",
+	StageCombine:    "combine",
 }
 
 func (s Stage) String() string {

@@ -207,12 +207,12 @@ func makeSamples() []Sample {
 	tl.Observe(500, Totals{
 		Instructions: 1000, DRAMReads: 20, RowHits: 15, RowMisses: 5,
 		BytesByKind: []uint64{640, 128}, RequestsByKind: []uint64{20, 4},
-		MetaAccesses: [3]uint64{10, 0, 0}, MetaMisses: [3]uint64{4, 0, 0},
+		MetaAccesses: [8]uint64{10, 0, 0}, MetaMisses: [8]uint64{4, 0, 0},
 	}, Instant{MetaMSHRs: 3, DRAMQueue: 7, BusyBanks: 2})
 	tl.Observe(1000, Totals{
 		Instructions: 1800, DRAMReads: 25, RowHits: 18, RowMisses: 7,
 		BytesByKind: []uint64{960, 192}, RequestsByKind: []uint64{30, 6},
-		MetaAccesses: [3]uint64{14, 0, 0}, MetaMisses: [3]uint64{5, 0, 0},
+		MetaAccesses: [8]uint64{14, 0, 0}, MetaMisses: [8]uint64{5, 0, 0},
 	}, Instant{})
 	return tl.Samples()
 }

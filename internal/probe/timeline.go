@@ -12,9 +12,10 @@ type Totals struct {
 	BytesByKind    []uint64
 	RequestsByKind []uint64
 	// Metadata cache accesses/misses, indexed like the caller's
-	// MetaKind space (counter, MAC, tree).
-	MetaAccesses [3]uint64
-	MetaMisses   [3]uint64
+	// MetaKind space (counter, MAC, tree, plus the extension schemes'
+	// share-map and key-table types; sized for headroom).
+	MetaAccesses [8]uint64
+	MetaMisses   [8]uint64
 }
 
 // Instant is the gauge snapshot taken at the sampling cycle.

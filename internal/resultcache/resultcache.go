@@ -46,7 +46,9 @@ import (
 // Schema versions the on-disk entry format; bump it when the encoding
 // changes and old entries become unreadable (they then read as misses
 // and are replaced on the next Put).
-const Schema = "gpusecmem-resultcache/1"
+// (Schema 2: Result's kind/metadata arrays widened for the scattered
+// and software-encryption schemes, changing the gob shape.)
+const Schema = "gpusecmem-resultcache/2"
 
 // entry is the on-disk envelope: the full canonical key is stored so a
 // digest collision (or a hand-copied file) can never serve the wrong

@@ -36,6 +36,18 @@ const (
 	EncCounter
 	// EncDirect is direct (address-tweaked block cipher) encryption.
 	EncDirect
+	// EncScattered is secret-shared line placement (Secure Scattered
+	// Memory): every protected line is stored as ScatterShares secret
+	// shares at pseudorandom locations, reads fan out to all shares and
+	// reconstruct by XOR, and a share-map metadata cache tracks
+	// placement. No AES pipeline, MACs, or integrity tree.
+	EncScattered
+	// EncSWCrypto is a MemShield-style software-encryption baseline:
+	// decryption costs SWCryptoCycles of GPU compute per sector on the
+	// reply critical path, keys come from a DRAM-resident key table read
+	// through a single software-held key register — no hardware metadata
+	// caches or MSHRs exist.
+	EncSWCrypto
 )
 
 func (e EncryptionKind) String() string {
@@ -44,6 +56,10 @@ func (e EncryptionKind) String() string {
 		return "none"
 	case EncCounter:
 		return "counter"
+	case EncScattered:
+		return "scattered"
+	case EncSWCrypto:
+		return "sw_crypto"
 	}
 	return "direct"
 }
@@ -114,6 +130,20 @@ type SecureConfig struct {
 	// approach of Zuo et al. that the paper's related work discusses:
 	// accesses outside the protected range skip all metadata.
 	ProtectedFraction float64
+
+	// ScatterShares is EncScattered's fan-out: the number of secret
+	// shares (2..8) each protected line is split into. Every read
+	// fetches all of them; every dirty writeback rewrites all of them.
+	ScatterShares int
+	// ScatterCombineLatency is the cycles EncScattered spends
+	// reconstructing a line once its last share has arrived (XOR
+	// combine — cheap, but not free).
+	ScatterCombineLatency int
+	// SWCryptoCycles is EncSWCrypto's software decrypt/encrypt latency
+	// per sector, on the read critical path. Software AES on SM cores
+	// is an order of magnitude slower than the paper's 40-cycle
+	// hardware pipeline.
+	SWCryptoCycles int
 }
 
 // Config is the full machine configuration (Table I baseline).
@@ -242,6 +272,10 @@ func Baseline() Config {
 			LazyTreeUpdate:    true,
 			SpeculativeVerify: true,
 			ProtectedFraction: 1.0,
+
+			ScatterShares:         2,
+			ScatterCombineLatency: 4,
+			SWCryptoCycles:        320,
 		},
 	}
 }
@@ -275,6 +309,29 @@ func DirectMem(aesLatency int, mac, tree bool) Config {
 	return cfg
 }
 
+// Scattered returns the Table I machine with secret-shared line
+// placement (EncScattered) at the given share fan-out. The share map
+// is cached in the partition's metadata cache; there is no AES
+// pipeline, MAC, or integrity tree.
+func Scattered(shares int) Config {
+	cfg := Baseline()
+	cfg.Secure.Encryption = EncScattered
+	cfg.Secure.ScatterShares = shares
+	// The whole per-type metadata budget serves the one share-map cache.
+	cfg.Secure.MetaCacheBytes = 6 * 1024
+	return cfg
+}
+
+// SWCrypto returns the Table I machine with MemShield-style software
+// encryption (EncSWCrypto) at the given per-sector software cipher
+// latency. No hardware metadata caches exist.
+func SWCrypto(cycles int) Config {
+	cfg := Baseline()
+	cfg.Secure.Encryption = EncSWCrypto
+	cfg.Secure.SWCryptoCycles = cycles
+	return cfg
+}
+
 // Validate reports configuration errors early — including the cases
 // internal/cache and internal/dram would otherwise only catch with a
 // panic mid-construction (non-positive sizes/associativity, invalid
@@ -293,8 +350,20 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: ProtectedBytes %d not divisible by %d partitions", c.ProtectedBytes, c.NumPartitions)
 	case c.Secure.Encryption == EncDirect && c.Secure.Tree && !c.Secure.MAC:
 		return fmt.Errorf("sim: direct encryption MT requires MACs (tree leaves)")
-	case c.Secure.Encryption != EncNone && c.Secure.AESEngines <= 0:
-		return fmt.Errorf("sim: AESEngines must be positive with encryption enabled")
+	case (c.Secure.Encryption == EncCounter || c.Secure.Encryption == EncDirect) && c.Secure.AESEngines <= 0:
+		return fmt.Errorf("sim: AESEngines must be positive with hardware encryption enabled")
+	case c.Secure.Encryption == EncScattered && (c.Secure.ScatterShares < 2 || c.Secure.ScatterShares > 8):
+		return fmt.Errorf("sim: ScatterShares %d outside [2,8] — scattered memory needs at least two shares, and more than eight models no published design", c.Secure.ScatterShares)
+	case c.Secure.Encryption == EncScattered && c.Secure.ScatterCombineLatency < 0:
+		return fmt.Errorf("sim: ScatterCombineLatency must be >= 0")
+	case c.Secure.Encryption == EncScattered && (c.Secure.MAC || c.Secure.Tree):
+		return fmt.Errorf("sim: scattered memory models confidentiality by secret sharing only — MAC/Tree are not part of the design; disable them")
+	case c.Secure.Encryption == EncScattered && c.Secure.Unified:
+		return fmt.Errorf("sim: scattered memory has a single share-map cache — Unified does not apply")
+	case c.Secure.Encryption == EncSWCrypto && c.Secure.SWCryptoCycles < 0:
+		return fmt.Errorf("sim: SWCryptoCycles must be >= 0")
+	case c.Secure.Encryption == EncSWCrypto && (c.Secure.MAC || c.Secure.Tree || c.Secure.Unified):
+		return fmt.Errorf("sim: the software-encryption baseline has no hardware metadata path — MAC/Tree/Unified do not apply; disable them")
 	case c.Secure.ProtectedFraction < 0 || c.Secure.ProtectedFraction > 1:
 		return fmt.Errorf("sim: ProtectedFraction %f outside [0,1]", c.Secure.ProtectedFraction)
 	case c.Shards < 0:
@@ -313,7 +382,9 @@ func (c *Config) Validate() error {
 	if c.L2BanksPerPartition <= 0 {
 		return fmt.Errorf("sim: L2BanksPerPartition must be positive")
 	}
-	if sc := &c.Secure; sc.Encryption != EncNone {
+	// EncSWCrypto has no hardware metadata caches at all, so its runs
+	// ignore the metadata-cache geometry entirely.
+	if sc := &c.Secure; sc.Encryption != EncNone && sc.Encryption != EncSWCrypto {
 		if sc.MetaAssoc <= 0 {
 			return fmt.Errorf("sim: MetaAssoc must be positive with encryption enabled")
 		}

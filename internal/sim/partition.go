@@ -17,6 +17,10 @@ const (
 	destCtrFill
 	destMACFill
 	destTreeFill
+	// destKeyFill is an EncSWCrypto key-table line returning from DRAM.
+	// Key fetches are uncached and unmerged (the software path has no
+	// MSHRs), so each carries at most one waiting read.
+	destKeyFill
 )
 
 type dest struct {
@@ -40,6 +44,11 @@ type readState struct {
 	l2Bank     int
 
 	dataDone, ctrDone, macDone bool
+	// sharesLeft counts outstanding secret-share fetches under
+	// EncScattered; the read's data is reconstructible only once the
+	// last share arrives. Zero for every other scheme, where one DRAM
+	// transaction carries the whole sector.
+	sharesLeft int
 	// unprotected marks reads outside the selective-encryption range:
 	// no crypto on the reply path.
 	unprotected bool
@@ -75,8 +84,20 @@ type partition struct {
 	dram  *dram.DRAM
 
 	// Metadata caches. With a unified configuration all three point
-	// at the same cache; with EncDirect ctr is nil.
+	// at the same cache; with EncDirect ctr is nil. EncScattered reuses
+	// the ctr slot for its share-map cache (the only metadata cache the
+	// scheme has), so the counter wake/fill machinery serves the map
+	// gate unchanged; EncSWCrypto has no metadata caches at all.
 	ctr, mac, tree *cache.Cache
+
+	// metaBase is where the extension schemes' partition-local metadata
+	// region starts: the first address past the partition's data space.
+	// EncScattered's share map and EncSWCrypto's key table live there
+	// (the paper schemes derive their region bases from lay instead).
+	metaBase uint64
+	// lastKeyLine is EncSWCrypto's single software-held key register:
+	// the key-table line the driver last loaded. ^0 = none held.
+	lastKeyLine uint64
 
 	aesFree3 []uint64
 	macFree3 uint64
@@ -137,9 +158,8 @@ func newPartition(id int, gpu *GPU) *partition {
 	}
 	sc := &cfg.Secure
 	if sc.Encryption != EncNone {
-		p.lay = layoutFor(cfg)
 		p.protectedStripes = uint64(sc.ProtectedFraction*16 + 0.5)
-		p.aesFree3 = make([]uint64, sc.AESEngines)
+		p.metaBase = cfg.ProtectedBytes / uint64(cfg.NumPartitions)
 		metaCache := func(name string, mergeCap int) *cache.Cache {
 			return cache.New(cache.Config{
 				Name:        name,
@@ -153,6 +173,21 @@ func newPartition(id int, gpu *GPU) *partition {
 				Unlimited:   sc.UnlimitedMeta,
 			})
 		}
+		switch sc.Encryption {
+		case EncScattered:
+			// One share-map cache; no AES pipeline, MAC unit, or
+			// counter/MAC/tree geometry — the placement map is the
+			// scheme's entire metadata footprint.
+			p.ctr = metaCache("smap$", sc.MergeCapCounter)
+			return p
+		case EncSWCrypto:
+			// No hardware metadata structures at all: the software
+			// driver holds one key-table line in a register.
+			p.lastKeyLine = ^uint64(0)
+			return p
+		}
+		p.lay = layoutFor(cfg)
+		p.aesFree3 = make([]uint64, sc.AESEngines)
 		if sc.Unified {
 			u := cache.New(cache.Config{
 				Name:        "unified$",
@@ -320,16 +355,27 @@ func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool
 		arrivedAt:  now,
 	}
 	p.reads[rs.id] = rs
+	sc := &p.cfg.Secure
+	protected := p.isProtected(localAddr)
+	if protected && sc.Encryption == EncScattered {
+		// The share locations are unknown until the share map answers,
+		// so no data fetch is issued here: the map lookup gates the
+		// whole fan-out (a map hit issues the shares this cycle).
+		rs.macDone = true
+		p.smapAccess(rs, now)
+		return
+	}
 	// Data fetch.
 	dt := p.newToken()
 	p.dests[dt] = dest{kind: destDataFill, readID: rs.id}
 	p.dram.Enqueue(dram.Request{Addr: localAddr, Bytes: geometry.SectorSize, Token: dt, Kind: int(KindData)})
 
-	sc := &p.cfg.Secure
-	protected := p.isProtected(localAddr)
-	if protected && sc.Encryption == EncCounter {
+	switch {
+	case protected && sc.Encryption == EncCounter:
 		p.counterAccess(rs, now)
-	} else {
+	case protected && sc.Encryption == EncSWCrypto:
+		p.keyAccess(rs, now)
+	default:
 		rs.ctrDone = true
 	}
 	if protected && sc.MAC {
@@ -341,6 +387,138 @@ func (p *partition) startRead(globalAddr, localAddr, token uint64, l2Bypass bool
 		rs.unprotected = true
 	}
 	p.maybeReply(rs, now)
+}
+
+// --- EncScattered share-map + share fan-out ---
+
+// mix64 is the splitmix64 finalizer: a deterministic 64-bit mixer used
+// to derive pseudorandom share placements. Scattering quality only
+// needs decorrelation from the row/bank/set-index bits, not
+// cryptographic strength (the real scheme's placements are keyed; the
+// timing model only needs their locality-destroying shape).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// smapLineAddr is the share-map line holding the placement entry for a
+// data address: 8 B per 128 B data line, the map region starting at
+// metaBase.
+func (p *partition) smapLineAddr(localAddr uint64) uint64 {
+	off := localAddr / geometry.LineSize * 8
+	return p.metaBase + off/geometry.LineSize*geometry.LineSize
+}
+
+// shareAddr is the partition-local address of share i (1..k-1) of a
+// protected line; share 0 is the line's home address itself. The
+// placement is a pure function of (line, i) so reads and writebacks
+// agree, and it preserves the sector offset so sectored-DRAM byte
+// accounting matches the primary share's.
+func (p *partition) shareAddr(localAddr uint64, i int) uint64 {
+	line := localAddr / geometry.LineSize
+	h := mix64(line + uint64(i)*0x9e3779b97f4a7c15)
+	dataLines := p.metaBase / geometry.LineSize
+	return h%dataLines*geometry.LineSize + localAddr%geometry.LineSize
+}
+
+// smapAccess probes the share-map cache on the read critical path. A
+// hit releases the share fan-out immediately; a miss defers it to the
+// map line's fill (wakeCounterWaiters — the map reuses the counter
+// gate in readState).
+func (p *partition) smapAccess(rs *readState, now uint64) {
+	mapAddr := p.smapLineAddr(rs.localAddr)
+	ms := &p.metaStats[MetaSMap]
+	ms.Accesses++
+	acc := p.ctr.Access(mapAddr, false, rs.id)
+	switch acc.Outcome {
+	case cache.Hit:
+		rs.ctrDone = true
+		rs.ctrReady = now + p.cfg.MetaLatency
+	case cache.MissPrimary:
+		ms.MissesPrimary++
+	default:
+		ms.MissesSecondary++
+	}
+	if acc.NeedFetch {
+		dt := p.newToken()
+		d := dest{kind: destCtrFill, addr: mapAddr, bypass: acc.Bypass, issuedAt: now}
+		if acc.Bypass {
+			d.readID = rs.id
+		}
+		p.dests[dt] = d
+		p.dram.Enqueue(dram.Request{Addr: mapAddr, Bytes: geometry.LineSize, Token: dt, Kind: int(KindSMap)})
+	}
+	if rs.ctrDone {
+		p.issueShares(rs, now)
+	}
+}
+
+// issueShares launches the k-way share fetch once the placement is
+// known: the home-address share counts as ordinary data traffic, the
+// k-1 scattered shares as KindShare. All shares feed the same
+// destDataFill wait; the last arrival completes the read's data.
+func (p *partition) issueShares(rs *readState, now uint64) {
+	k := p.cfg.Secure.ScatterShares
+	rs.sharesLeft = k
+	for i := 0; i < k; i++ {
+		addr, kind := rs.localAddr, KindData
+		if i > 0 {
+			addr, kind = p.shareAddr(rs.localAddr, i), KindShare
+		}
+		dt := p.newToken()
+		p.dests[dt] = dest{kind: destDataFill, readID: rs.id}
+		p.dram.Enqueue(dram.Request{Addr: addr, Bytes: geometry.SectorSize, Token: dt, Kind: int(kind)})
+	}
+}
+
+// --- EncSWCrypto key table ---
+
+// keyLineAddr is the key-table line holding the page key for a data
+// address: 8 B per 4 KB page, the table starting at metaBase.
+func (p *partition) keyLineAddr(localAddr uint64) uint64 {
+	off := localAddr >> 12 * 8
+	return p.metaBase + off/geometry.LineSize*geometry.LineSize
+}
+
+// keyAccess models the software driver's key lookup: one key-table
+// line is held in a register; any other page's key is a full uncached
+// DRAM line read. There are no MSHRs — concurrent misses to the same
+// key line each pay their own fetch, which is exactly the cost the
+// hardware metadata path exists to avoid.
+func (p *partition) keyAccess(rs *readState, now uint64) {
+	keyLine := p.keyLineAddr(rs.localAddr)
+	ms := &p.metaStats[MetaKey]
+	ms.Accesses++
+	if keyLine == p.lastKeyLine {
+		rs.ctrDone = true
+		rs.ctrReady = now + p.cfg.MetaLatency
+		return
+	}
+	ms.MissesPrimary++
+	dt := p.newToken()
+	p.dests[dt] = dest{kind: destKeyFill, addr: keyLine, readID: rs.id, issuedAt: now}
+	p.dram.Enqueue(dram.Request{Addr: keyLine, Bytes: geometry.LineSize, Token: dt, Kind: int(KindKey)})
+}
+
+// swSchedule books one sector's software decrypt/encrypt pass through
+// the SM-side crypto kernel, modeled as a single serial unit three
+// times slower per sector than the hardware MAC pipe, plus the
+// SWCryptoCycles software latency.
+func (p *partition) swSchedule(readyCycle uint64) uint64 {
+	sc := &p.cfg.Secure
+	if sc.SWCryptoCycles == 0 {
+		return readyCycle
+	}
+	start3 := readyCycle * 3
+	if p.macFree3 > start3 {
+		start3 = p.macFree3
+	}
+	p.macFree3 = start3 + 24
+	return start3/3 + uint64(sc.SWCryptoCycles)
 }
 
 // counterAccess probes the counter cache on the read critical path.
@@ -432,6 +610,21 @@ func (p *partition) maybeReply(rs *readState, now uint64) {
 		if otpReady > at {
 			at = otpReady
 		}
+	case sc.Encryption == EncScattered:
+		// The XOR reconstruction starts once the last share arrives
+		// (dataReady); the map lookup already gated the fan-out, so it
+		// is never the later event here.
+		encDone = rs.dataReady + uint64(sc.ScatterCombineLatency)
+		at = encDone
+	case sc.Encryption == EncSWCrypto:
+		// The software kernel needs both the ciphertext and the page
+		// key before it can start, then pays the serial software pass.
+		base := rs.dataReady
+		if rs.ctrReady > base {
+			base = rs.ctrReady
+		}
+		encDone = p.swSchedule(base)
+		at = encDone
 	default: // EncDirect: decryption starts after the ciphertext arrives.
 		encDone = p.aesSchedule(rs.dataReady)
 		at = encDone
@@ -500,6 +693,34 @@ func (p *partition) handleDataWriteback(ev *cache.Eviction, now uint64) {
 	sc := &p.cfg.Secure
 	p.dram.Enqueue(dram.Request{Addr: ev.LineAddr, Bytes: ev.DirtyBytes, Write: true, Kind: int(KindData)})
 	if sc.Encryption == EncNone || !p.isProtected(ev.LineAddr) {
+		return
+	}
+	switch sc.Encryption {
+	case EncScattered:
+		// A dirty writeback re-splits the line: the home share was the
+		// data write above, the k-1 scattered shares follow, and the
+		// placement entry is read-modified-written (fresh shares mean
+		// fresh map contents).
+		for i := 1; i < sc.ScatterShares; i++ {
+			p.dram.Enqueue(dram.Request{Addr: p.shareAddr(ev.LineAddr, i), Bytes: ev.DirtyBytes, Write: true, Kind: int(KindShare)})
+		}
+		p.metaWriteAccess(MetaSMap, p.ctr, p.smapLineAddr(ev.LineAddr), destCtrFill, KindSMap, now)
+		return
+	case EncSWCrypto:
+		// Software encryption of each dirty sector, after the driver
+		// swaps the page key into its register if it isn't held.
+		for b := 0; b < ev.DirtyBytes; b += geometry.SectorSize {
+			p.swSchedule(now)
+		}
+		keyLine := p.keyLineAddr(ev.LineAddr)
+		ms := &p.metaStats[MetaKey]
+		ms.Accesses++
+		if keyLine != p.lastKeyLine {
+			ms.MissesPrimary++
+			dt := p.newToken()
+			p.dests[dt] = dest{kind: destKeyFill, addr: keyLine, write: true, issuedAt: now}
+			p.dram.Enqueue(dram.Request{Addr: keyLine, Bytes: geometry.LineSize, Token: dt, Kind: int(KindKey)})
+		}
 		return
 	}
 	// Encryption occupancy, one AES pass per dirty sector.
@@ -706,6 +927,13 @@ func (p *partition) dispatch(d dest, now uint64) {
 				// silently.
 				p.recordCorruption(sc.MAC && !rs.unprotected)
 			}
+			if rs.sharesLeft > 1 {
+				// EncScattered: more shares outstanding — the line is
+				// reconstructible only once the last one lands.
+				rs.sharesLeft--
+				return
+			}
+			rs.sharesLeft = 0
 			rs.dataDone = true
 			rs.dataReady = now
 			p.maybeReply(rs, now)
@@ -713,11 +941,17 @@ func (p *partition) dispatch(d dest, now uint64) {
 	case destCtrFill:
 		if in := p.gpu.inj; in != nil {
 			// A corrupt counter fails the tree check directly, or the
-			// (stateful) MAC check indirectly via the wrong OTP.
+			// (stateful) MAC check indirectly via the wrong OTP. (Under
+			// EncScattered this is the share map and neither exists:
+			// the flip lands silently.)
 			p.injectMeta(in, d.addr, sc.Tree || sc.MAC)
 		}
 		if pr := p.gpu.probe; pr != nil {
-			p.recordMetaSpan(pr, d, KindCounter, now)
+			k := KindCounter
+			if sc.Encryption == EncScattered {
+				k = KindSMap
+			}
+			p.recordMetaSpan(pr, d, k, now)
 		}
 		fill := p.ctr.Fill(d.addr, d.bypass, d.write)
 		if fill.Writeback != nil {
@@ -763,6 +997,25 @@ func (p *partition) dispatch(d dest, now uint64) {
 		if plevel, pidx, _, ok := p.lay.Parent(level, idx); ok {
 			p.verifyWalk(plevel, pidx, now)
 		}
+	case destKeyFill:
+		if in := p.gpu.inj; in != nil {
+			// A flipped page key scrambles the plaintext with nothing
+			// to miscompare against: always silent.
+			p.injectMeta(in, d.addr, false)
+		}
+		if pr := p.gpu.probe; pr != nil {
+			p.recordMetaSpan(pr, d, KindKey, now)
+		}
+		// The driver's register holds this key line from the fill cycle
+		// on. Updating at fill (not issue) time means concurrent misses
+		// on the same line each pay their own fetch — the software path
+		// has no MSHRs to merge them.
+		p.lastKeyLine = d.addr
+		if rs, ok := p.reads[d.readID]; ok {
+			rs.ctrDone = true
+			rs.ctrReady = now
+			p.maybeReply(rs, now)
+		}
 	}
 }
 
@@ -777,7 +1030,13 @@ func (p *partition) wakeCounterWaiters(tokens []uint64, d dest, now uint64) {
 		if rs, ok := p.reads[tok]; ok {
 			rs.ctrDone = true
 			rs.ctrReady = now
-			p.maybeReply(rs, now)
+			if p.cfg.Secure.Encryption == EncScattered {
+				// The placement just became known: release the share
+				// fan-out (the reply waits on the shares, not here).
+				p.issueShares(rs, now)
+			} else {
+				p.maybeReply(rs, now)
+			}
 		}
 	}
 }

@@ -75,6 +75,32 @@ func (p *partition) recordReadSpan(pr *probe.State, rs *readState, otpReady, enc
 			st[probe.StageAES] = otpReady - m
 			base = otpReady
 		}
+	case sc.Encryption == EncScattered:
+		// The map lookup gated the whole fan-out: time until the
+		// placement answer is metadata, the share-fetch window is
+		// share, and the XOR reconstruction is combine — there is no
+		// "plain DRAM" segment to attribute.
+		m := rs.ctrReady
+		if m < rs.arrivedAt {
+			m = rs.arrivedAt
+		}
+		if m > rs.dataReady {
+			m = rs.dataReady
+		}
+		st[probe.StageDRAM] = 0
+		st[probe.StageMeta] = m - rs.arrivedAt
+		st[probe.StageShareFetch] = rs.dataReady - m
+		st[probe.StageCombine] = encDone - rs.dataReady
+		base = encDone
+	case sc.Encryption == EncSWCrypto:
+		if rs.ctrReady > base {
+			// The key-table fetch outlasted the ciphertext.
+			st[probe.StageMeta] = rs.ctrReady - base
+			base = rs.ctrReady
+		}
+		// The software cipher pass is the scheme's "AES" stage.
+		st[probe.StageAES] = encDone - base
+		base = encDone
 	default: // EncDirect: decryption always follows the data.
 		st[probe.StageAES] = encDone - base
 		base = encDone
@@ -154,7 +180,7 @@ func (g *GPU) sampleProbe() {
 			tot.BytesByKind[k] += ds.BytesByKind[k]
 			tot.RequestsByKind[k] += ds.RequestsByKind[k]
 		}
-		for m := 0; m < int(numMeta); m++ {
+		for m := 0; m < int(numMeta) && m < len(tot.MetaAccesses); m++ {
 			tot.MetaAccesses[m] += p.metaStats[m].Accesses
 			tot.MetaMisses[m] += p.metaStats[m].Misses()
 		}

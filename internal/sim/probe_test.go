@@ -11,7 +11,8 @@ func TestMetaKindString(t *testing.T) {
 		MetaCounter: "counter",
 		MetaMAC:     "mac",
 		MetaTree:    "bmt",
-		MetaKind(3): "meta(3)",
+		MetaSMap:    "smap",
+		MetaKey:     "key",
 		MetaKind(9): "meta(9)",
 	}
 	for k, want := range cases {
@@ -26,7 +27,7 @@ func TestKindLabels(t *testing.T) {
 	if len(labels) != int(numKinds) {
 		t.Fatalf("%d labels for %d kinds", len(labels), numKinds)
 	}
-	want := []string{"data", "ctr", "mac", "bmt", "wb"}
+	want := []string{"data", "ctr", "mac", "bmt", "wb", "share", "smap", "key"}
 	for i, w := range want {
 		if labels[i] != w {
 			t.Errorf("label[%d] = %q, want %q", i, labels[i], w)

@@ -14,13 +14,22 @@ type TrafficKind int
 
 // Traffic kinds. KindWB covers all metadata-cache writebacks, matching
 // the paper's 'wb' series; data writebacks count as KindData ("regular
-// data read and write requests").
+// data read and write requests"). The kinds past KindWB belong to the
+// extension scheme families: KindShare is the extra secret-share
+// fetches of EncScattered (the primary share still counts as KindData),
+// KindSMap its share-map line traffic, and KindKey the key-table line
+// reads of EncSWCrypto. They are zero — and omitted from the JSON form
+// — for every paper scheme, so the golden digests of the original
+// catalogue are unaffected by their existence.
 const (
 	KindData TrafficKind = iota
 	KindCounter
 	KindMAC
 	KindTree
 	KindWB
+	KindShare
+	KindSMap
+	KindKey
 	numKinds
 )
 
@@ -36,6 +45,12 @@ func (k TrafficKind) String() string {
 		return "bmt"
 	case KindWB:
 		return "wb"
+	case KindShare:
+		return "share"
+	case KindSMap:
+		return "smap"
+	case KindKey:
+		return "key"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -43,11 +58,16 @@ func (k TrafficKind) String() string {
 // MetaKind indexes per-metadata-type statistics.
 type MetaKind int
 
-// Metadata types.
+// Metadata types. MetaSMap tracks EncScattered's share-map cache and
+// MetaKey EncSWCrypto's software key-table lookups; both stay all-zero
+// for the paper schemes (and the JSON form already omits zero-access
+// metadata types, so old digests are unaffected).
 const (
 	MetaCounter MetaKind = iota
 	MetaMAC
 	MetaTree
+	MetaSMap
+	MetaKey
 	numMeta
 )
 
@@ -59,6 +79,10 @@ func (m MetaKind) String() string {
 		return "mac"
 	case MetaTree:
 		return "bmt"
+	case MetaSMap:
+		return "smap"
+	case MetaKey:
+		return "key"
 	}
 	return fmt.Sprintf("meta(%d)", int(m))
 }

@@ -42,6 +42,19 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.DRAM.MaxIssuePerCycle = 0 },
 		func(c *Config) { c.Faults = &faults.Plan{Rate: 2} },
 		func(c *Config) { c.Faults = &faults.Plan{Rate: 0.1, Sites: faults.SiteMask(1 << 30)} },
+		// The related-work backends have their own envelope: share
+		// count bounds, non-negative latencies, and no integrity
+		// hardware to combine with.
+		func(c *Config) { *c = Scattered(1) },
+		func(c *Config) { *c = Scattered(9) },
+		func(c *Config) { *c = Scattered(2); c.Secure.ScatterCombineLatency = -1 },
+		func(c *Config) { *c = Scattered(2); c.Secure.MAC = true },
+		func(c *Config) { *c = Scattered(2); c.Secure.Tree = true },
+		func(c *Config) { *c = Scattered(2); c.Secure.Unified = true },
+		func(c *Config) { *c = SWCrypto(-1) },
+		func(c *Config) { *c = SWCrypto(320); c.Secure.MAC = true },
+		func(c *Config) { *c = SWCrypto(320); c.Secure.Tree = true },
+		func(c *Config) { *c = SWCrypto(320); c.Secure.Unified = true },
 	}
 	for i, mutate := range bad {
 		cfg := Baseline()
@@ -50,9 +63,10 @@ func TestValidate(t *testing.T) {
 			t.Errorf("case %d: config accepted", i)
 		}
 	}
-	cfg := Baseline()
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("baseline rejected: %v", err)
+	for _, good := range []Config{Baseline(), Scattered(2), Scattered(8), SWCrypto(0), SWCrypto(320)} {
+		if err := good.Validate(); err != nil {
+			t.Fatalf("%s rejected: %v", good.Secure.Encryption, err)
+		}
 	}
 }
 

@@ -34,7 +34,11 @@ import (
 // StateVersion tags MachineState's schema. Bump it whenever any
 // serialized component state changes shape or meaning; Restore rejects
 // other versions and the caller starts from cycle 0.
-const StateVersion = 1
+//
+// Version history: 2 widened MetaStats to the extension metadata kinds
+// and added ReadRecState.SharesLeft / PartitionState.LastKeyLine for
+// the scattered-memory and software-encryption schemes.
+const StateVersion = 2
 
 // QueuedL2 is one undelivered SM→partition interconnect message.
 type QueuedL2 struct {
@@ -81,6 +85,7 @@ type ReadRecState struct {
 	DataDone    bool
 	CtrDone     bool
 	MacDone     bool
+	SharesLeft  int
 	Unprotected bool
 	ArrivedAt   uint64
 	DataReady   uint64
@@ -117,6 +122,9 @@ type PartitionState struct {
 	FaultDetected uint64
 	FaultSilent   uint64
 	LocalTok      uint64
+	// LastKeyLine is EncSWCrypto's software key register (^0 = empty);
+	// zero-valued and ignored by every other scheme.
+	LastKeyLine uint64
 }
 
 // MachineState is a complete, detached snapshot of a GPU mid-run.
@@ -301,6 +309,7 @@ func (p *partition) snapshot() *PartitionState {
 		FaultDetected: p.faultDetected,
 		FaultSilent:   p.faultSilent,
 		LocalTok:      p.localTok,
+		LastKeyLine:   p.lastKeyLine,
 	}
 	for _, b := range p.banks {
 		st.Banks = append(st.Banks, b.Snapshot())
@@ -337,6 +346,7 @@ func (p *partition) snapshot() *PartitionState {
 				ID: rs.id, GlobalAddr: rs.globalAddr, LocalAddr: rs.localAddr,
 				L2Token: rs.l2Token, L2Bypass: rs.l2Bypass, L2Bank: rs.l2Bank,
 				DataDone: rs.dataDone, CtrDone: rs.ctrDone, MacDone: rs.macDone,
+				SharesLeft: rs.sharesLeft,
 				Unprotected: rs.unprotected, ArrivedAt: rs.arrivedAt,
 				DataReady: rs.dataReady, CtrReady: rs.ctrReady, MacReady: rs.macReady,
 				Replied: rs.replied, Finished: rs.finished,
@@ -413,6 +423,7 @@ func (p *partition) restore(st *PartitionState) error {
 	p.faultDetected = st.FaultDetected
 	p.faultSilent = st.FaultSilent
 	p.localTok = st.LocalTok
+	p.lastKeyLine = st.LastKeyLine
 	p.dests = make(map[uint64]dest, len(st.Dests))
 	for _, d := range st.Dests {
 		p.dests[d.Token] = dest{
@@ -426,6 +437,7 @@ func (p *partition) restore(st *PartitionState) error {
 			id: r.ID, globalAddr: r.GlobalAddr, localAddr: r.LocalAddr,
 			l2Token: r.L2Token, l2Bypass: r.L2Bypass, l2Bank: r.L2Bank,
 			dataDone: r.DataDone, ctrDone: r.CtrDone, macDone: r.MacDone,
+			sharesLeft: r.SharesLeft,
 			unprotected: r.Unprotected, arrivedAt: r.ArrivedAt,
 			dataReady: r.DataReady, ctrReady: r.CtrReady, macReady: r.MacReady,
 			replied: r.Replied, finished: r.Finished,

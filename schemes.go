@@ -57,6 +57,13 @@ var schemes = map[string]func() Config{
 		cfg.Secure.Unified = true
 		return cfg
 	},
+	// scattered: secret-shared line placement (Secure Scattered Memory,
+	// arXiv:2402.15824) with the default 2-way share fan-out and a 6KB
+	// share-map cache; no AES, MACs, or integrity tree.
+	"scattered": func() Config { return ScatteredMemConfig(2) },
+	// sw_crypto: MemShield-style software encryption (arXiv:2004.09252)
+	// at 320 cycles per sector; no hardware metadata structures.
+	"sw_crypto": func() Config { return SWCryptoConfig(320) },
 }
 
 // ConfigForScheme resolves a named design point (see SchemeNames).

@@ -4,7 +4,7 @@ import "testing"
 
 func TestSchemeNamesStable(t *testing.T) {
 	names := SchemeNames()
-	if len(names) != 10 {
+	if len(names) != 12 {
 		t.Fatalf("schemes = %v", names)
 	}
 	for _, n := range names {
